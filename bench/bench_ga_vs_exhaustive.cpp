@@ -1,0 +1,86 @@
+// E2 — on-chip GA versus exhaustive search.
+//
+// Paper §3.3: "if we had to test all the 68 billion possibilities for the
+// genome, we would need about 19 hours at 1 MHz ... With this system, the
+// average time needed is only about 10 minutes."
+//
+// The exhaustive baseline is a 1-genome-per-cycle pipeline (the fitness
+// module is pure combinational logic, so that pipeline is real). We
+// reproduce the paper's arithmetic exactly, measure an actual software
+// scan over a 2^24 subspace to validate the density model, and compare
+// against the measured cycle counts of the RTL GAP.
+//
+//   ./bench_ga_vs_exhaustive [hw-trials]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+#include "fitness/landscape.hpp"
+#include "ga/baselines.hpp"
+#include "genome/gait_genome.hpp"
+
+int main(int argc, char** argv) {
+  using namespace leo;
+  const std::size_t hw_trials =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 15;
+
+  std::printf("E2 — GA vs exhaustive search at the paper's 1 MHz clock\n\n");
+
+  // --- the paper's own arithmetic, from first principles ---
+  const double full_scan_s =
+      static_cast<double>(genome::kSearchSpace) / 1.0e6;
+  std::printf("exhaustive full scan: 2^36 = %llu genomes x 1 cycle "
+              "= %.2f hours  (paper: \"about 19 hours\")\n",
+              static_cast<unsigned long long>(genome::kSearchSpace),
+              full_scan_s / 3600.0);
+
+  // Expected first hit for a scan/random draw, from the exact density.
+  const double expected_draws = fitness::expected_random_draws_to_max();
+  std::printf("expected first max-fitness hit (random order): %.3g genomes "
+              "= %.2f s at 1 MHz\n\n", expected_draws, expected_draws / 1e6);
+
+  // --- validate the density with a real scan over a 2^24 subspace ---
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t subspace = std::uint64_t{1} << 24;
+  std::uint64_t hits = 0;
+  unsigned best = 0;
+  const ga::ScanResult scan = ga::exhaustive_scan(
+      0, subspace,
+      [&](std::uint64_t g) {
+        const unsigned f = fitness::score(g);
+        if (f == 60) ++hits;
+        best = std::max(best, f);
+        return f;
+      },
+      std::nullopt);
+  const double scan_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("measured subspace scan: %llu genomes in %.2f s host time, "
+              "best fitness %u, %llu maxima found\n",
+              static_cast<unsigned long long>(scan.evaluated), scan_s, best,
+              static_cast<unsigned long long>(hits));
+  std::printf("  (subspace density %.3g vs exact global density %.3g — the "
+              "low words underrepresent step-1 structure)\n\n",
+              static_cast<double>(hits) / static_cast<double>(subspace),
+              fitness::max_fitness_density());
+
+  // --- the GA on the real hardware model ---
+  core::EvolutionConfig hw;
+  hw.backend = core::Backend::kHardware;
+  const core::TrialSummary sum = core::run_trials(hw, hw_trials, 1);
+  const double ga_s = sum.clock_cycles.mean() / 1e6;
+
+  std::printf("method                    time @ 1 MHz          vs GA\n");
+  std::printf("RTL GAP (measured)        %10.4f s           1x\n", ga_s);
+  std::printf("random pipeline (expected)%10.2f s        %8.0fx\n",
+              expected_draws / 1e6, expected_draws / 1e6 / ga_s);
+  std::printf("exhaustive full scan      %10.2f h        %8.0fx\n",
+              full_scan_s / 3600.0, full_scan_s / ga_s);
+  std::printf("\npaper-reported ratio: 19 h / 10 min = ~114x in favour of "
+              "the GA\nmeasured shape: GA beats undirected search by orders "
+              "of magnitude — %s\n",
+              full_scan_s / ga_s > 100.0 ? "REPRODUCED" : "NOT met");
+  return 0;
+}

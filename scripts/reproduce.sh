@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Reproduce everything: build, full test suite, every experiment bench.
+# Results land in test_output.txt and bench_output.txt at the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

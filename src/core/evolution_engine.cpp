@@ -1,0 +1,61 @@
+#include "core/evolution_engine.hpp"
+
+#include "gap/gap_top.hpp"
+#include "rtl/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace leo::core {
+
+namespace {
+
+EvolutionResult evolve_software(const EvolutionConfig& config) {
+  const fitness::FitnessSpec spec = config.spec;
+  ga::GaEngine engine(config.ga, [spec](const util::BitVec& g) {
+    return fitness::score(g.to_u64(), spec);
+  });
+  util::Xoshiro256 rng(config.seed);
+  const ga::RunResult run =
+      engine.run(rng, config.max_generations, spec.max_score(),
+                 config.track_history);
+
+  EvolutionResult result;
+  result.reached_target = run.reached_target;
+  result.generations = run.generations;
+  result.best_genome = run.best.genome.to_u64();
+  result.best_fitness = run.best.fitness;
+  result.evaluations = run.evaluations;
+  result.history = run.history;
+  return result;
+}
+
+EvolutionResult evolve_hardware(const EvolutionConfig& config) {
+  gap::GapParams params = config.gap;
+  params.target_fitness = config.spec.max_score();
+  gap::GapTop top(nullptr, "gap", params, config.seed, config.spec);
+  rtl::Simulator sim(top);
+
+  // Generous per-generation bound: init + eval + sel/xover + mutation with
+  // stalls never exceeds ~40 cycles per individual.
+  const std::uint64_t max_cycles =
+      (config.max_generations + 2) * params.population_size * 40;
+  sim.run_until([&] { return top.done.read(); }, max_cycles);
+
+  EvolutionResult result;
+  result.reached_target = top.done.read();
+  result.generations = top.generation();
+  result.best_genome = top.best_genome();
+  result.best_fitness = top.best_fitness();
+  result.evaluations = (top.generation() + 1) * params.population_size;
+  result.clock_cycles = sim.cycles();
+  result.seconds_at_1mhz = sim.seconds_at(gap::kGapClockHz);
+  return result;
+}
+
+}  // namespace
+
+EvolutionResult evolve(const EvolutionConfig& config) {
+  return config.backend == Backend::kSoftware ? evolve_software(config)
+                                              : evolve_hardware(config);
+}
+
+}  // namespace leo::core

@@ -1,0 +1,50 @@
+// evolution_engine.hpp — one front door for "evolve a gait".
+//
+// Two interchangeable backends:
+//   kSoftware — ga::GaEngine with the paper's operators (fast; the
+//               reference the hardware is validated against);
+//   kHardware — the cycle-accurate gap::GapTop in the RTL simulator
+//               (slower per run, but reports clock cycles and therefore
+//               wall-clock time at the paper's 1 MHz).
+//
+// Both use the same fitness spec, so results are directly comparable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fitness/rules.hpp"
+#include "ga/engine.hpp"
+#include "gap/gap_params.hpp"
+
+namespace leo::core {
+
+enum class Backend { kSoftware, kHardware };
+
+struct EvolutionConfig {
+  Backend backend = Backend::kSoftware;
+  fitness::FitnessSpec spec{};
+  ga::GaParams ga{};            ///< software backend parameters
+  gap::GapParams gap{};         ///< hardware backend parameters
+  std::uint64_t seed = 1;
+  std::uint64_t max_generations = 100'000;
+  bool track_history = false;   ///< software backend only
+};
+
+struct EvolutionResult {
+  bool reached_target = false;
+  std::uint64_t generations = 0;
+  std::uint64_t best_genome = 0;
+  unsigned best_fitness = 0;
+  std::uint64_t evaluations = 0;       ///< fitness evaluations (SW) / pop*gen (HW)
+  std::uint64_t clock_cycles = 0;      ///< HW backend: simulated cycles
+  double seconds_at_1mhz = 0.0;        ///< HW backend: paper wall clock
+  std::vector<ga::GenerationStats> history;
+};
+
+/// Runs one evolution to the spec's maximum fitness (or the backend
+/// params' target). Deterministic in (config.seed, config contents).
+[[nodiscard]] EvolutionResult evolve(const EvolutionConfig& config);
+
+}  // namespace leo::core

@@ -1,0 +1,52 @@
+#include "core/experiment.hpp"
+
+#include <sstream>
+
+#include "util/thread_pool.hpp"
+
+namespace leo::core {
+
+TrialSummary run_trials(const EvolutionConfig& config, std::size_t n,
+                        std::uint64_t base_seed, std::size_t threads) {
+  TrialSummary summary;
+  summary.trials = n;
+  summary.runs.resize(n);
+
+  util::ThreadPool pool(threads);
+  pool.parallel_for(n, [&](std::size_t i) {
+    EvolutionConfig trial = config;
+    trial.seed = base_seed + i;
+    summary.runs[i] = evolve(trial);
+  });
+
+  for (const auto& run : summary.runs) {
+    if (!run.reached_target) continue;
+    ++summary.reached_target;
+    summary.generations.add(static_cast<double>(run.generations));
+    summary.evaluations.add(static_cast<double>(run.evaluations));
+    if (run.clock_cycles > 0) {
+      summary.clock_cycles.add(static_cast<double>(run.clock_cycles));
+    }
+  }
+  return summary;
+}
+
+std::string describe(const TrialSummary& summary) {
+  std::ostringstream out;
+  out << summary.reached_target << "/" << summary.trials
+      << " trials reached the target";
+  if (summary.reached_target > 0) {
+    out << "; generations mean=" << summary.generations.mean()
+        << " sd=" << summary.generations.stddev()
+        << " min=" << summary.generations.min()
+        << " max=" << summary.generations.max()
+        << "; evaluations mean=" << summary.evaluations.mean();
+    if (summary.clock_cycles.count() > 0) {
+      out << "; cycles mean=" << summary.clock_cycles.mean() << " ("
+          << summary.clock_cycles.mean() / 1.0e6 << " s at 1 MHz)";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace leo::core

@@ -1,0 +1,39 @@
+// experiment.hpp — repeated-trial harness for the benches.
+//
+// The paper's numbers are averages over runs ("an average of about 2000
+// generations"), so every experiment here is N independent trials with
+// per-trial seeds derived from a base seed. Trials run across the thread
+// pool; results are deterministic in (base_seed, n) regardless of
+// scheduling (each trial's RNG depends only on its own seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/evolution_engine.hpp"
+#include "util/stats.hpp"
+
+namespace leo::core {
+
+struct TrialSummary {
+  std::size_t trials = 0;
+  std::size_t reached_target = 0;
+  util::RunningStats generations;     ///< over successful trials
+  util::RunningStats evaluations;
+  util::RunningStats clock_cycles;    ///< hardware backend only
+  std::vector<EvolutionResult> runs;  ///< per-trial detail, seed order
+};
+
+/// Runs `n` trials of `config` with seeds base_seed, base_seed+1, ...
+/// `threads` = 0 uses all cores.
+[[nodiscard]] TrialSummary run_trials(const EvolutionConfig& config,
+                                      std::size_t n, std::uint64_t base_seed,
+                                      std::size_t threads = 0);
+
+/// Formats a one-line summary ("24/24 reached max, generations mean=68.6
+/// min=14 max=220 ...") for bench output.
+[[nodiscard]] std::string describe(const TrialSummary& summary);
+
+}  // namespace leo::core

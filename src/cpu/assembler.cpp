@@ -1,0 +1,284 @@
+#include "cpu/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "cpu/isa.hpp"
+
+namespace leo::cpu {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::runtime_error("asm line " + std::to_string(line) + ": " +
+                           message);
+}
+
+std::string strip(const std::string& s) {
+  std::size_t a = 0;
+  std::size_t b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// One parsed source line: optional mnemonic + comma-separated operands.
+struct Line {
+  std::size_t number = 0;
+  std::string mnemonic;
+  std::vector<std::string> operands;
+};
+
+bool parse_register(const std::string& s, unsigned& reg) {
+  if (s.size() != 2 || (s[0] != 'r' && s[0] != 'R') || s[1] < '0' ||
+      s[1] > '7') {
+    return false;
+  }
+  reg = static_cast<unsigned>(s[1] - '0');
+  return true;
+}
+
+bool parse_number(const std::string& s, long& value) {
+  if (s.empty()) return false;
+  std::size_t pos = 0;
+  try {
+    value = std::stol(s, &pos, 0);  // handles decimal, 0x..., negatives
+  } catch (...) {
+    return false;
+  }
+  return pos == s.size();
+}
+
+unsigned need_register(const Line& line, std::size_t i) {
+  if (i >= line.operands.size()) fail(line.number, "missing register operand");
+  unsigned reg = 0;
+  if (!parse_register(line.operands[i], reg)) {
+    fail(line.number, "expected register, got '" + line.operands[i] + "'");
+  }
+  return reg;
+}
+
+long need_number(const Line& line, std::size_t i, long lo, long hi) {
+  if (i >= line.operands.size()) fail(line.number, "missing immediate");
+  long v = 0;
+  if (!parse_number(line.operands[i], v)) {
+    fail(line.number, "expected number, got '" + line.operands[i] + "'");
+  }
+  if (v < lo || v > hi) {
+    fail(line.number, "immediate " + std::to_string(v) + " out of [" +
+                          std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+/// Parses "[rN]" or "[rN+imm]".
+void need_mem_operand(const Line& line, std::size_t i, unsigned& rs,
+                      unsigned& imm6) {
+  if (i >= line.operands.size()) fail(line.number, "missing memory operand");
+  const std::string& s = line.operands[i];
+  if (s.size() < 4 || s.front() != '[' || s.back() != ']') {
+    fail(line.number, "expected [reg+off], got '" + s + "'");
+  }
+  const std::string inner = s.substr(1, s.size() - 2);
+  const std::size_t plus = inner.find('+');
+  const std::string reg_text = strip(inner.substr(0, plus));
+  if (!parse_register(reg_text, rs)) {
+    fail(line.number, "bad base register in '" + s + "'");
+  }
+  imm6 = 0;
+  if (plus != std::string::npos) {
+    long off = 0;
+    if (!parse_number(strip(inner.substr(plus + 1)), off) || off < 0 ||
+        off > 63) {
+      fail(line.number, "offset out of [0, 63] in '" + s + "'");
+    }
+    imm6 = static_cast<unsigned>(off);
+  }
+}
+
+/// Words a mnemonic occupies (for the first pass).
+std::size_t size_of(const std::string& m) {
+  if (m == "li") return 2;
+  if (m == "call" || m == "jmp") return 3;
+  return 1;
+}
+
+const std::map<std::string, AluFunc> kAluOps = {
+    {"add", AluFunc::kAdd}, {"sub", AluFunc::kSub}, {"and", AluFunc::kAnd},
+    {"or", AluFunc::kOr},   {"xor", AluFunc::kXor}, {"shl", AluFunc::kShl},
+    {"shr", AluFunc::kShr}};
+
+const std::map<std::string, Cond> kBranches = {
+    {"br", Cond::kAlways}, {"brz", Cond::kZ},  {"brnz", Cond::kNz},
+    {"brc", Cond::kC},     {"brnc", Cond::kNc}, {"brn", Cond::kN},
+    {"brnn", Cond::kNn}};
+
+}  // namespace
+
+Program assemble(const std::string& source) {
+  // --- tokenize into lines, collecting labels ---
+  std::vector<Line> lines;
+  std::map<std::string, std::uint16_t> symbols;
+  std::uint16_t address = 0;
+
+  std::istringstream stream(source);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    const std::size_t comment = raw.find(';');
+    std::string text = strip(
+        comment == std::string::npos ? raw : raw.substr(0, comment));
+
+    // Peel leading labels ("name:").
+    for (;;) {
+      const std::size_t colon = text.find(':');
+      if (colon == std::string::npos) break;
+      const std::string label = strip(text.substr(0, colon));
+      if (label.empty() ||
+          !std::all_of(label.begin(), label.end(), [](unsigned char c) {
+            return std::isalnum(c) || c == '_';
+          })) {
+        fail(line_no, "bad label '" + label + "'");
+      }
+      if (symbols.count(label) != 0) {
+        fail(line_no, "duplicate label '" + label + "'");
+      }
+      symbols[label] = address;
+      text = strip(text.substr(colon + 1));
+    }
+    if (text.empty()) continue;
+
+    Line line;
+    line.number = line_no;
+    const std::size_t space = text.find_first_of(" \t");
+    line.mnemonic = lower(text.substr(0, space));
+    if (space != std::string::npos) {
+      std::string rest = text.substr(space + 1);
+      std::size_t start = 0;
+      while (start <= rest.size()) {
+        const std::size_t comma = rest.find(',', start);
+        const std::string piece = strip(
+            rest.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start));
+        if (!piece.empty()) line.operands.push_back(piece);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    }
+    address = static_cast<std::uint16_t>(address + size_of(line.mnemonic));
+    lines.push_back(std::move(line));
+  }
+
+  // --- second pass: encode ---
+  auto resolve = [&](const Line& line, std::size_t i) -> std::uint16_t {
+    if (i >= line.operands.size()) fail(line.number, "missing operand");
+    const std::string& s = line.operands[i];
+    long value = 0;
+    if (parse_number(s, value)) {
+      if (value < 0 || value > 0xFFFF) fail(line.number, "value out of range");
+      return static_cast<std::uint16_t>(value);
+    }
+    const auto it = symbols.find(s);
+    if (it == symbols.end()) fail(line.number, "unknown label '" + s + "'");
+    return it->second;
+  };
+
+  Program program;
+  program.symbols = symbols;
+  for (const Line& line : lines) {
+    const std::string& m = line.mnemonic;
+    const std::uint16_t here = static_cast<std::uint16_t>(program.words.size());
+
+    if (const auto alu = kAluOps.find(m); alu != kAluOps.end()) {
+      const unsigned rd = need_register(line, 0);
+      const unsigned rs = need_register(line, 1);
+      const unsigned rt = need_register(line, 2);
+      program.words.push_back(enc_alu(alu->second, rd, rs, rt));
+    } else if (m == "mov") {
+      const unsigned rd = need_register(line, 0);
+      const unsigned rs = need_register(line, 1);
+      program.words.push_back(enc_alu(AluFunc::kMov, rd, rs, 0));
+    } else if (m == "ldi") {
+      const unsigned rd = need_register(line, 0);
+      const long imm = need_number(line, 1, 0, 255);
+      program.words.push_back(
+          enc_imm8(Op::kLdi, rd, static_cast<unsigned>(imm)));
+    } else if (m == "ldih") {
+      const unsigned rd = need_register(line, 0);
+      const long imm = need_number(line, 1, 0, 255);
+      program.words.push_back(
+          enc_imm8(Op::kLdih, rd, static_cast<unsigned>(imm)));
+    } else if (m == "addi") {
+      const unsigned rd = need_register(line, 0);
+      const long imm = need_number(line, 1, -128, 127);
+      program.words.push_back(
+          enc_imm8(Op::kAddi, rd, static_cast<unsigned>(imm) & 0xFF));
+    } else if (m == "ld") {
+      const unsigned rd = need_register(line, 0);
+      unsigned rs = 0;
+      unsigned imm6 = 0;
+      need_mem_operand(line, 1, rs, imm6);
+      program.words.push_back(enc_mem(Op::kLd, rd, rs, imm6));
+    } else if (m == "st") {
+      const unsigned rt = need_register(line, 0);
+      unsigned rs = 0;
+      unsigned imm6 = 0;
+      need_mem_operand(line, 1, rs, imm6);
+      program.words.push_back(enc_mem(Op::kSt, rt, rs, imm6));
+    } else if (m == "cmp") {
+      const unsigned rs = need_register(line, 0);
+      const unsigned rt = need_register(line, 1);
+      program.words.push_back(enc_cmp(rs, rt));
+    } else if (const auto br = kBranches.find(m); br != kBranches.end()) {
+      const std::uint16_t target = resolve(line, 0);
+      const int off = static_cast<int>(target) - (static_cast<int>(here) + 1);
+      if (off < -256 || off > 255) {
+        fail(line.number, "branch out of range (use jmp)");
+      }
+      program.words.push_back(enc_br(br->second, off));
+    } else if (m == "jal") {
+      const unsigned rd = need_register(line, 0);
+      const unsigned rs = need_register(line, 1);
+      program.words.push_back(enc_jal(rd, rs));
+    } else if (m == "li") {
+      const unsigned rd = need_register(line, 0);
+      const std::uint16_t value = resolve(line, 1);
+      program.words.push_back(enc_imm8(Op::kLdi, rd, value & 0xFF));
+      program.words.push_back(enc_imm8(Op::kLdih, rd, (value >> 8) & 0xFF));
+    } else if (m == "call") {
+      const std::uint16_t target = resolve(line, 0);
+      program.words.push_back(enc_imm8(Op::kLdi, 5, target & 0xFF));
+      program.words.push_back(enc_imm8(Op::kLdih, 5, (target >> 8) & 0xFF));
+      program.words.push_back(enc_jal(kLinkReg, 5));
+    } else if (m == "jmp") {
+      const std::uint16_t target = resolve(line, 0);
+      program.words.push_back(enc_imm8(Op::kLdi, 5, target & 0xFF));
+      program.words.push_back(enc_imm8(Op::kLdih, 5, (target >> 8) & 0xFF));
+      program.words.push_back(enc_jal(5, 5));
+    } else if (m == "ret") {
+      program.words.push_back(kInsnRet);
+    } else if (m == "halt") {
+      program.words.push_back(kInsnHalt);
+    } else if (m == "nop") {
+      program.words.push_back(kInsnNop);
+    } else {
+      fail(line.number, "unknown mnemonic '" + m + "'");
+    }
+  }
+  return program;
+}
+
+}  // namespace leo::cpu

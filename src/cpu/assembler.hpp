@@ -1,0 +1,44 @@
+// assembler.hpp — two-pass assembler for MCU16.
+//
+// Syntax (one instruction per line; ';' starts a comment):
+//
+//   label:                     ; labels end with ':', may share a line
+//   add  r1, r2, r3            ; also sub, and, or, xor, shl, shr
+//   mov  r1, r2
+//   ldi  r1, 0x2F              ; 8-bit immediate, zero-extended
+//   ldih r1, 0x12              ; sets the high byte
+//   addi r1, -3                ; signed 8-bit immediate
+//   ld   r1, [r2+5]            ; 6-bit unsigned offset; [r2] = offset 0
+//   st   r1, [r2+5]
+//   cmp  r1, r2
+//   br   label                 ; brz brnz brc brnc brn brnn: conditional
+//   jal  r7, r2
+//   ret                        ; PC = r7
+//   halt / nop
+//
+// Pseudo-instructions (multi-word; r5 is the documented scratch):
+//   li   r1, 0x1234            ; ldi + ldih (always two words)
+//   li   r1, label             ; load a code address
+//   call label                 ; li r5, label ; jal r7, r5
+//   jmp  label                 ; li r5, label ; jal r5, r5
+//
+// Numeric literals: decimal or 0x hex. Registers: r0..r7.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace leo::cpu {
+
+struct Program {
+  std::vector<std::uint16_t> words;
+  std::map<std::string, std::uint16_t> symbols;  ///< label -> address
+};
+
+/// Assembles `source`; throws std::runtime_error with the line number on
+/// any syntax error, unknown label, or out-of-range operand.
+[[nodiscard]] Program assemble(const std::string& source);
+
+}  // namespace leo::cpu

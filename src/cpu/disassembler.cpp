@@ -1,0 +1,130 @@
+#include "cpu/disassembler.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "cpu/isa.hpp"
+
+namespace leo::cpu {
+
+namespace {
+
+const char* alu_name(AluFunc f) {
+  switch (f) {
+    case AluFunc::kAdd: return "add";
+    case AluFunc::kSub: return "sub";
+    case AluFunc::kAnd: return "and";
+    case AluFunc::kOr: return "or";
+    case AluFunc::kXor: return "xor";
+    case AluFunc::kShl: return "shl";
+    case AluFunc::kShr: return "shr";
+    case AluFunc::kMov: return "mov";
+  }
+  return "?";
+}
+
+const char* branch_name(Cond c) {
+  switch (c) {
+    case Cond::kAlways: return "br";
+    case Cond::kZ: return "brz";
+    case Cond::kNz: return "brnz";
+    case Cond::kC: return "brc";
+    case Cond::kNc: return "brnc";
+    case Cond::kN: return "brn";
+    case Cond::kNn: return "brnn";
+  }
+  return "?";
+}
+
+/// Branch destination of a BR word at `address`, or -1 if not a branch.
+int branch_target(std::uint16_t word, std::uint16_t address) {
+  if ((word >> 12) != 7) return -1;
+  int off = word & 0x1FF;
+  if (off & 0x100) off -= 0x200;
+  return address + 1 + off;
+}
+
+}  // namespace
+
+std::string disassemble_word(std::uint16_t word, std::uint16_t address) {
+  std::ostringstream out;
+  const auto op = static_cast<Op>(word >> 12);
+  const unsigned f9 = (word >> 9) & 7;
+  const unsigned f6 = (word >> 6) & 7;
+  const unsigned f3 = (word >> 3) & 7;
+  const unsigned imm8 = word & 0xFF;
+  const unsigned imm6 = word & 0x3F;
+
+  switch (op) {
+    case Op::kSys:
+      switch (word & 7) {
+        case 0: out << "nop"; break;
+        case 1: out << "halt"; break;
+        case 2: out << "ret"; break;
+        default: out << "; .word 0x" << std::hex << word; break;
+      }
+      break;
+    case Op::kAlu: {
+      const auto f = static_cast<AluFunc>(word & 7);
+      if (f == AluFunc::kMov) {
+        out << "mov r" << f9 << ", r" << f6;
+      } else {
+        out << alu_name(f) << " r" << f9 << ", r" << f6 << ", r" << f3;
+      }
+      break;
+    }
+    case Op::kLdi: out << "ldi r" << f9 << ", " << imm8; break;
+    case Op::kLdih: out << "ldih r" << f9 << ", " << imm8; break;
+    case Op::kAddi: {
+      int imm = static_cast<int>(imm8);
+      if (imm > 127) imm -= 256;
+      out << "addi r" << f9 << ", " << imm;
+      break;
+    }
+    case Op::kLd: out << "ld r" << f9 << ", [r" << f6 << "+" << imm6 << "]"; break;
+    case Op::kSt: out << "st r" << f9 << ", [r" << f6 << "+" << imm6 << "]"; break;
+    case Op::kBr:
+      out << branch_name(static_cast<Cond>(f9)) << " L"
+          << branch_target(word, address);
+      break;
+    case Op::kJal: out << "jal r" << f9 << ", r" << f6; break;
+    case Op::kCmp: out << "cmp r" << f9 << ", r" << f6; break;
+    default:
+      out << "; .word 0x" << std::hex << word;
+      break;
+  }
+  return out.str();
+}
+
+std::string disassemble(const std::vector<std::uint16_t>& words) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    out << "  " << i << ":\t"
+        << disassemble_word(words[i], static_cast<std::uint16_t>(i)) << "\n";
+  }
+  return out.str();
+}
+
+std::string disassemble_roundtrip(const std::vector<std::uint16_t>& words) {
+  // Collect every branch destination so a label line can be emitted.
+  std::set<int> targets;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const int t = branch_target(words[i], static_cast<std::uint16_t>(i));
+    if (t >= 0) targets.insert(t);
+  }
+  std::ostringstream out;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (targets.count(static_cast<int>(i)) != 0) {
+      out << "L" << i << ":\n";
+    }
+    out << "  " << disassemble_word(words[i], static_cast<std::uint16_t>(i))
+        << "\n";
+  }
+  // Labels may point one past the end (branch to the next instruction).
+  if (targets.count(static_cast<int>(words.size())) != 0) {
+    out << "L" << words.size() << ":\n  nop\n";
+  }
+  return out.str();
+}
+
+}  // namespace leo::cpu

@@ -1,0 +1,28 @@
+// disassembler.hpp — MCU16 machine code back to assembly text.
+//
+// Used for debugging firmware and as the assembler's round-trip oracle
+// (assemble(disassemble(assemble(src))) must be word-identical; tested).
+// Pseudo-instructions are not reconstructed: the output is one real
+// instruction per word, which the assembler accepts back verbatim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace leo::cpu {
+
+/// One instruction word to text (e.g. "add r1, r2, r3"). Unknown
+/// encodings render as a comment so listings never throw.
+[[nodiscard]] std::string disassemble_word(std::uint16_t word,
+                                           std::uint16_t address = 0);
+
+/// Whole program listing with addresses and branch-target labels.
+[[nodiscard]] std::string disassemble(const std::vector<std::uint16_t>& words);
+
+/// Label-free listing that reassembles to the identical words (branch
+/// targets rendered as absolute "L<addr>" labels emitted inline).
+[[nodiscard]] std::string disassemble_roundtrip(
+    const std::vector<std::uint16_t>& words);
+
+}  // namespace leo::cpu

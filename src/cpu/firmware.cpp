@@ -1,0 +1,614 @@
+#include "cpu/firmware.hpp"
+
+#include <stdexcept>
+
+#include "cpu/assembler.hpp"
+
+namespace leo::cpu {
+
+namespace {
+
+// Shared subroutines: the 16-bit Galois LFSR (taps 0xB400, maximal) and
+// the three-rule fitness function. Registers: r6 = globals base (callee
+// preserved), r7 = link. `rand` clobbers r0-r2; `fitness` clobbers r0-r5;
+// `call` clobbers r5.
+constexpr const char* kCommonSubroutines = R"asm(
+; ---- rand: r0 = next LFSR word. state at [r6+0] (never zero). ----
+rand:
+    ld   r0, [r6+0]
+    ldi  r1, 1
+    and  r1, r0, r1          ; r1 = lsb
+    ldi  r2, 1
+    shr  r0, r0, r2          ; state >> 1
+    ldi  r2, 0
+    sub  r1, r2, r1          ; 0x0000 or 0xFFFF
+    li   r2, 0xB400          ; Galois taps (maximal 16-bit sequence)
+    and  r1, r1, r2
+    xor  r0, r0, r1
+    st   r0, [r6+0]
+    ret
+
+; ---- fitness: r0 = score of the genome in [r6+16..18] (w0,w1,w2). ----
+; Walks the twelve 3-bit leg genes LSB-first (step 0 legs 0..5, then
+; step 1), counting coherence violations and accumulating six 6-bit
+; masks: h / v_first / v_last per step (bit order reversed vs leg index,
+; which both later checks tolerate). Locals in [r6+8..15].
+fitness:
+    ld   r1, [r6+16]
+    ld   r2, [r6+17]
+    ld   r3, [r6+18]
+    ldi  r0, 0
+    st   r0, [r6+8]          ; coherence count
+    st   r0, [r6+9]          ; h mask, step 0
+    st   r0, [r6+10]         ; h mask, step 1
+    st   r0, [r6+11]         ; v_first mask, step 0
+    st   r0, [r6+12]         ; v_first mask, step 1
+    st   r0, [r6+13]         ; v_last mask, step 0
+    st   r0, [r6+14]         ; v_last mask, step 1
+    ldi  r0, 12
+    st   r0, [r6+15]         ; gene counter, 12 down to 1
+fit_loop:
+    ldi  r4, 7
+    and  r4, r1, r4          ; r4 = gene: v0 | h<<1 | v1<<2
+    ; coherence: violation iff v0 != h
+    ldi  r0, 1
+    and  r0, r4, r0
+    add  r0, r0, r0          ; v0 << 1
+    ldi  r5, 2
+    and  r5, r4, r5          ; h << 1
+    xor  r0, r0, r5
+    brz  fit_coh_ok
+    ld   r0, [r6+8]
+    addi r0, 1
+    st   r0, [r6+8]
+fit_coh_ok:
+    ; step 0 while the counter is still >= 7
+    ld   r0, [r6+15]
+    ldi  r5, 7
+    cmp  r0, r5
+    brc  fit_step0
+    ; --- step 1 masks (slots 10 / 12 / 14) ---
+    ldi  r5, 1
+    shr  r5, r4, r5
+    ldi  r0, 1
+    and  r5, r5, r0          ; h
+    ld   r0, [r6+10]
+    add  r0, r0, r0
+    or   r0, r0, r5
+    st   r0, [r6+10]
+    ldi  r5, 1
+    and  r5, r4, r5          ; v_first
+    ld   r0, [r6+12]
+    add  r0, r0, r0
+    or   r0, r0, r5
+    st   r0, [r6+12]
+    ldi  r5, 2
+    shr  r5, r4, r5
+    ldi  r0, 1
+    and  r5, r5, r0          ; v_last
+    ld   r0, [r6+14]
+    add  r0, r0, r0
+    or   r0, r0, r5
+    st   r0, [r6+14]
+    br   fit_shift
+fit_step0:
+    ldi  r5, 1
+    shr  r5, r4, r5
+    ldi  r0, 1
+    and  r5, r5, r0
+    ld   r0, [r6+9]
+    add  r0, r0, r0
+    or   r0, r0, r5
+    st   r0, [r6+9]
+    ldi  r5, 1
+    and  r5, r4, r5
+    ld   r0, [r6+11]
+    add  r0, r0, r0
+    or   r0, r0, r5
+    st   r0, [r6+11]
+    ldi  r5, 2
+    shr  r5, r4, r5
+    ldi  r0, 1
+    and  r5, r5, r0
+    ld   r0, [r6+13]
+    add  r0, r0, r0
+    or   r0, r0, r5
+    st   r0, [r6+13]
+fit_shift:
+    ; 36-bit genome >>= 3 across the three words
+    ldi  r5, 3
+    shr  r1, r1, r5
+    ldi  r5, 13
+    shl  r0, r2, r5
+    or   r1, r1, r0
+    ldi  r5, 3
+    shr  r2, r2, r5
+    ldi  r5, 13
+    shl  r0, r3, r5
+    or   r2, r2, r0
+    ldi  r5, 3
+    shr  r3, r3, r5
+    ld   r0, [r6+15]
+    addi r0, -1
+    st   r0, [r6+15]
+    brnz fit_loop
+
+    ; symmetry violations = popcount6(xnor(hmask0, hmask1))
+    ld   r1, [r6+9]
+    ld   r2, [r6+10]
+    xor  r1, r1, r2
+    ldi  r2, 63
+    xor  r1, r1, r2
+    ldi  r2, 0
+    ldi  r3, 6
+fit_pc:
+    ldi  r4, 1
+    and  r4, r1, r4
+    add  r2, r2, r4
+    ldi  r4, 1
+    shr  r1, r1, r4
+    addi r3, -1
+    brnz fit_pc
+    st   r2, [r6+9]          ; reuse slot 9 for the symmetry count
+
+    ; equilibrium: each 6-bit height mask contributes a violation per
+    ; all-ones half (one half per body side)
+    ldi  r4, 0
+    ld   r1, [r6+11]
+    ldi  r3, 7
+    and  r0, r1, r3
+    cmp  r0, r3
+    brnz fit_eq_a1
+    addi r4, 1
+fit_eq_a1:
+    ldi  r0, 3
+    shr  r1, r1, r0
+    ldi  r3, 7
+    and  r0, r1, r3
+    cmp  r0, r3
+    brnz fit_eq_a2
+    addi r4, 1
+fit_eq_a2:
+    ld   r1, [r6+12]
+    ldi  r3, 7
+    and  r0, r1, r3
+    cmp  r0, r3
+    brnz fit_eq_b1
+    addi r4, 1
+fit_eq_b1:
+    ldi  r0, 3
+    shr  r1, r1, r0
+    ldi  r3, 7
+    and  r0, r1, r3
+    cmp  r0, r3
+    brnz fit_eq_b2
+    addi r4, 1
+fit_eq_b2:
+    ld   r1, [r6+13]
+    ldi  r3, 7
+    and  r0, r1, r3
+    cmp  r0, r3
+    brnz fit_eq_c1
+    addi r4, 1
+fit_eq_c1:
+    ldi  r0, 3
+    shr  r1, r1, r0
+    ldi  r3, 7
+    and  r0, r1, r3
+    cmp  r0, r3
+    brnz fit_eq_c2
+    addi r4, 1
+fit_eq_c2:
+    ld   r1, [r6+14]
+    ldi  r3, 7
+    and  r0, r1, r3
+    cmp  r0, r3
+    brnz fit_eq_d1
+    addi r4, 1
+fit_eq_d1:
+    ldi  r0, 3
+    shr  r1, r1, r0
+    ldi  r3, 7
+    and  r0, r1, r3
+    cmp  r0, r3
+    brnz fit_eq_d2
+    addi r4, 1
+fit_eq_d2:
+
+    ; score = 60 - 3*eq - 2*sym - 2*coh
+    add  r1, r4, r4
+    add  r1, r1, r4
+    ld   r2, [r6+9]
+    add  r1, r1, r2
+    add  r1, r1, r2
+    ld   r2, [r6+8]
+    add  r1, r1, r2
+    add  r1, r1, r2
+    ldi  r0, 60
+    sub  r0, r0, r1
+    ret
+)asm";
+
+constexpr const char* kKernelMain = R"asm(
+; standalone fitness kernel: score the poked genome, store, halt
+    ldi  r6, 224
+    call fitness
+    st   r0, [r6+31]
+    halt
+)asm";
+
+constexpr const char* kGaMain = R"asm(
+; ================= GA firmware main =================
+    ldi  r6, 224
+    ; seed guard: the LFSR must not start at zero
+    ld   r0, [r6+0]
+    ldi  r1, 0
+    cmp  r0, r1
+    brnz seeded
+    ldi  r0, 1
+    st   r0, [r6+0]
+seeded:
+    ldi  r0, 0
+    st   r0, [r6+1]          ; best fitness
+    st   r0, [r6+5]          ; generation
+    st   r0, [r6+6]          ; basis = bank A (address 0)
+    ldi  r0, 96
+    st   r0, [r6+7]          ; intermediate = bank B
+
+    ; ---- initialize the population with LFSR words ----
+    ldi  r0, 0
+    st   r0, [r6+19]         ; i
+init_loop:
+    call rand
+    mov  r3, r0              ; w0
+    call rand
+    mov  r4, r0              ; w1
+    call rand
+    ldi  r1, 15
+    and  r0, r0, r1          ; w2 (4 bits)
+    ld   r1, [r6+19]
+    add  r2, r1, r1
+    add  r2, r2, r1          ; 3i
+    st   r3, [r2+0]
+    st   r4, [r2+1]
+    st   r0, [r2+2]
+    ld   r1, [r6+19]
+    addi r1, 1
+    st   r1, [r6+19]
+    ldi  r2, 32
+    cmp  r1, r2
+    brnz init_loop
+
+; ---- one generation: evaluate, breed, mutate, swap ----
+gen_loop:
+    ldi  r0, 0
+    st   r0, [r6+19]         ; i
+eval_loop:
+    ld   r1, [r6+19]
+    add  r2, r1, r1
+    add  r2, r2, r1
+    ld   r3, [r6+6]
+    add  r2, r2, r3          ; basis + 3i
+    ld   r0, [r2+0]
+    st   r0, [r6+16]
+    ld   r0, [r2+1]
+    st   r0, [r6+17]
+    ld   r0, [r2+2]
+    st   r0, [r6+18]
+    call fitness             ; r0 = score
+    ld   r1, [r6+19]
+    li   r2, 192
+    add  r2, r2, r1
+    st   r0, [r2+0]          ; fitness[i]
+    ld   r1, [r6+1]
+    cmp  r1, r0
+    brc  eval_next           ; best >= score: keep
+    st   r0, [r6+1]
+    ld   r0, [r6+16]
+    st   r0, [r6+2]
+    ld   r0, [r6+17]
+    st   r0, [r6+3]
+    ld   r0, [r6+18]
+    st   r0, [r6+4]
+eval_next:
+    ld   r1, [r6+19]
+    addi r1, 1
+    st   r1, [r6+19]
+    ldi  r2, 32
+    cmp  r1, r2
+    brnz eval_loop
+
+    ; converged?
+    ld   r0, [r6+1]
+    ldi  r1, 60
+    cmp  r0, r1
+    brnc breed
+    halt
+
+; ---- breeding: 16 pairs of tournament selection + crossover ----
+breed:
+    ldi  r0, 0
+    st   r0, [r6+20]         ; pair counter
+breed_loop:
+    call select
+    st   r0, [r6+21]         ; parent a index
+    call select
+    st   r0, [r6+22]         ; parent b index
+    ; copy parent a into [r6+24..26], parent b into [r6+28..30]
+    ld   r1, [r6+21]
+    add  r2, r1, r1
+    add  r2, r2, r1
+    ld   r0, [r6+6]
+    add  r2, r2, r0
+    ld   r0, [r2+0]
+    st   r0, [r6+24]
+    ld   r0, [r2+1]
+    st   r0, [r6+25]
+    ld   r0, [r2+2]
+    st   r0, [r6+26]
+    ld   r1, [r6+22]
+    add  r2, r1, r1
+    add  r2, r2, r1
+    ld   r0, [r6+6]
+    add  r2, r2, r0
+    ld   r0, [r2+0]
+    st   r0, [r6+28]
+    ld   r0, [r2+1]
+    st   r0, [r6+29]
+    ld   r0, [r2+2]
+    st   r0, [r6+30]
+    ; crossover with probability 179/256
+    call rand
+    ldi  r1, 255
+    and  r0, r0, r1
+    ldi  r1, 179
+    cmp  r0, r1
+    brc  no_cross
+    ; cut = 1 + (rand6 mod 35)
+    call rand
+    ldi  r1, 63
+    and  r0, r0, r1
+    ldi  r1, 35
+cut_mod:
+    cmp  r0, r1
+    brnc cut_ok
+    sub  r0, r0, r1
+    br   cut_mod
+cut_ok:
+    addi r0, 1
+    st   r0, [r6+23]
+    ; per word w: m = bits of the word below the cut; swap tails with the
+    ; XOR trick (child0 = B ^ ((A^B)&m), child1 = A ^ ((A^B)&m))
+    ; --- word 0 ---
+    ld   r0, [r6+23]
+    ldi  r1, 16
+    cmp  r0, r1
+    brnc xw0_partial
+    li   r1, 0xFFFF
+    br   xw0_apply
+xw0_partial:
+    ldi  r1, 1
+    shl  r1, r1, r0
+    addi r1, -1
+xw0_apply:
+    ld   r2, [r6+24]
+    ld   r3, [r6+28]
+    xor  r4, r2, r3
+    and  r4, r4, r1
+    xor  r0, r3, r4
+    st   r0, [r6+24]
+    xor  r0, r2, r4
+    st   r0, [r6+28]
+    ; --- word 1 ---
+    ld   r0, [r6+23]
+    addi r0, -16
+    brn  xw1_zero
+    brz  xw1_zero
+    ldi  r1, 16
+    cmp  r0, r1
+    brnc xw1_partial
+    li   r1, 0xFFFF
+    br   xw1_apply
+xw1_partial:
+    ldi  r1, 1
+    shl  r1, r1, r0
+    addi r1, -1
+    br   xw1_apply
+xw1_zero:
+    ldi  r1, 0
+xw1_apply:
+    ld   r2, [r6+25]
+    ld   r3, [r6+29]
+    xor  r4, r2, r3
+    and  r4, r4, r1
+    xor  r0, r3, r4
+    st   r0, [r6+25]
+    xor  r0, r2, r4
+    st   r0, [r6+29]
+    ; --- word 2 (bits 32..35; the cut is at most 35, so never full) ---
+    ld   r0, [r6+23]
+    addi r0, -32
+    brn  xw2_zero
+    brz  xw2_zero
+    ldi  r1, 1
+    shl  r1, r1, r0
+    addi r1, -1
+    br   xw2_apply
+xw2_zero:
+    ldi  r1, 0
+xw2_apply:
+    ld   r2, [r6+26]
+    ld   r3, [r6+30]
+    xor  r4, r2, r3
+    and  r4, r4, r1
+    xor  r0, r3, r4
+    st   r0, [r6+26]
+    xor  r0, r2, r4
+    st   r0, [r6+30]
+no_cross:
+    ; write both children to the intermediate bank at 6*pair
+    ld   r1, [r6+20]
+    add  r1, r1, r1
+    add  r2, r1, r1
+    add  r2, r2, r1          ; 6 * pair
+    ld   r0, [r6+7]
+    add  r2, r2, r0
+    ld   r0, [r6+24]
+    st   r0, [r2+0]
+    ld   r0, [r6+25]
+    st   r0, [r2+1]
+    ld   r0, [r6+26]
+    st   r0, [r2+2]
+    ld   r0, [r6+28]
+    st   r0, [r2+3]
+    ld   r0, [r6+29]
+    st   r0, [r2+4]
+    ld   r0, [r6+30]
+    st   r0, [r2+5]
+    ld   r0, [r6+20]
+    addi r0, 1
+    st   r0, [r6+20]
+    ldi  r1, 16
+    cmp  r0, r1
+    brnz breed_loop
+
+    ; ---- mutation: 15 single-bit flips on the intermediate bank ----
+    ldi  r0, 15
+    st   r0, [r6+19]
+mut_loop:
+    call rand
+    mov  r3, r0
+    ldi  r1, 31
+    and  r4, r3, r1          ; individual index
+    ldi  r1, 5
+    shr  r3, r3, r1
+    ldi  r1, 63
+    and  r3, r3, r1
+    ldi  r1, 36
+mut_mod:
+    cmp  r3, r1
+    brnc mut_ok
+    sub  r3, r3, r1
+    br   mut_mod
+mut_ok:
+    ldi  r1, 4
+    shr  r2, r3, r1          ; word within the genome
+    ldi  r1, 15
+    and  r3, r3, r1          ; bit within the word
+    add  r0, r4, r4
+    add  r0, r0, r4
+    add  r0, r0, r2
+    ld   r1, [r6+7]
+    add  r0, r0, r1          ; address
+    ldi  r1, 1
+    shl  r1, r1, r3
+    ld   r2, [r0+0]
+    xor  r2, r2, r1
+    st   r2, [r0+0]
+    ld   r0, [r6+19]
+    addi r0, -1
+    st   r0, [r6+19]
+    brnz mut_loop
+
+    ; ---- swap banks, count the generation ----
+    ld   r0, [r6+6]
+    ld   r1, [r6+7]
+    st   r1, [r6+6]
+    st   r0, [r6+7]
+    ld   r0, [r6+5]
+    addi r0, 1
+    st   r0, [r6+5]
+    jmp  gen_loop
+
+; ---- select: r0 = tournament winner index. Clobbers r0-r4. ----
+select:
+    st   r7, [r6+27]
+    call rand
+    mov  r3, r0
+    ldi  r1, 31
+    and  r4, r3, r1          ; candidate a
+    ldi  r1, 5
+    shr  r3, r3, r1
+    ldi  r1, 31
+    and  r3, r3, r1          ; candidate b
+    li   r1, 192
+    add  r2, r1, r4
+    ld   r0, [r2+0]          ; fitness[a]
+    add  r2, r1, r3
+    ld   r1, [r2+0]          ; fitness[b]
+    cmp  r0, r1
+    brc  sel_a_better
+    mov  r0, r3
+    mov  r3, r4
+    mov  r4, r0              ; r4 = better, r3 = worse
+sel_a_better:
+    call rand
+    ldi  r1, 255
+    and  r0, r0, r1
+    ldi  r1, 205
+    cmp  r0, r1
+    brc  sel_worse
+    mov  r0, r4
+    ld   r7, [r6+27]
+    ret
+sel_worse:
+    mov  r0, r3
+    ld   r7, [r6+27]
+    ret
+)asm";
+
+std::string kernel_listing() {
+  return std::string(kKernelMain) + kCommonSubroutines;
+}
+
+std::string ga_listing() {
+  return std::string(kGaMain) + kCommonSubroutines;
+}
+
+}  // namespace
+
+const std::string& fitness_kernel_source() {
+  static const std::string source = kernel_listing();
+  return source;
+}
+
+const std::string& ga_firmware_source() {
+  static const std::string source = ga_listing();
+  return source;
+}
+
+unsigned run_fitness_kernel(Mcu& mcu, std::uint64_t genome_bits) {
+  static const Program program = assemble(fitness_kernel_source());
+  mcu.load_program(program.words);
+  mcu.poke(kGlobalsBase + 16, static_cast<std::uint16_t>(genome_bits));
+  mcu.poke(kGlobalsBase + 17,
+           static_cast<std::uint16_t>(genome_bits >> 16));
+  mcu.poke(kGlobalsBase + 18,
+           static_cast<std::uint16_t>(genome_bits >> 32));
+  if (!mcu.run(1'000'000)) {
+    throw std::runtime_error("fitness kernel did not halt");
+  }
+  return mcu.peek(kGlobalsBase + 31);
+}
+
+GaFirmwareResult run_ga_firmware(std::uint16_t seed,
+                                 std::uint64_t max_cycles) {
+  static const Program program = assemble(ga_firmware_source());
+  Mcu mcu;
+  mcu.load_program(program.words);
+  mcu.poke(kGlobalsBase + 0, seed == 0 ? 1 : seed);
+
+  GaFirmwareResult result;
+  result.converged = mcu.run(max_cycles);
+  result.generations = mcu.peek(kGlobalsBase + 5);
+  result.best_fitness = mcu.peek(kGlobalsBase + 1);
+  result.best_genome =
+      static_cast<std::uint64_t>(mcu.peek(kGlobalsBase + 2)) |
+      (static_cast<std::uint64_t>(mcu.peek(kGlobalsBase + 3)) << 16) |
+      (static_cast<std::uint64_t>(mcu.peek(kGlobalsBase + 4)) << 32);
+  result.cycles = mcu.cycles();
+  result.instructions = mcu.instructions();
+  return result;
+}
+
+}  // namespace leo::cpu

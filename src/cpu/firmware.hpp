@@ -1,0 +1,57 @@
+// firmware.hpp — the GA as firmware on the processor-based controller.
+//
+// The paper's motivation (§1): "In our approach we want to avoid the use
+// of processors and of off-line computations generally needed to solve
+// the walk problem." This module is the road not taken: the identical
+// genetic algorithm (population 32, 36-bit genomes, tournament 0.8,
+// single-point crossover 0.7, 15 mutations/generation, the same three
+// fitness rules) hand-written in MCU16 assembly and executed on the
+// cycle-counted core — so the FPGA-vs-processor comparison can be made
+// in clock cycles at the same 1 MHz (bench_cpu_vs_gap).
+//
+// Memory map (data words):
+//   0   ..  95   population bank A (32 x 3 words, little-endian 36 bits)
+//   96  .. 191   population bank B
+//   192 .. 223   fitness[32]
+//   224 = G      globals: +0 LFSR state, +1 best fitness, +2..4 best
+//                genome, +5 generation, +6 basis ptr, +7 intermediate ptr,
+//                +8..15 fitness locals, +16..18 fitness argument genome,
+//                +19..30 main/breeding locals, +31 kernel result
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/mcu.hpp"
+
+namespace leo::cpu {
+
+/// Base address of the globals block.
+inline constexpr std::uint16_t kGlobalsBase = 224;
+
+/// Full GA firmware listing (assembles with cpu::assemble).
+[[nodiscard]] const std::string& ga_firmware_source();
+
+/// Standalone fitness kernel: scores the genome in the argument slots and
+/// halts (used to validate the assembly against fitness::score and to
+/// measure cycles per evaluation).
+[[nodiscard]] const std::string& fitness_kernel_source();
+
+/// Loads the kernel, pokes `genome_bits`, runs, returns the score.
+[[nodiscard]] unsigned run_fitness_kernel(Mcu& mcu, std::uint64_t genome_bits);
+
+struct GaFirmwareResult {
+  bool converged = false;
+  std::uint64_t generations = 0;
+  unsigned best_fitness = 0;
+  std::uint64_t best_genome = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+};
+
+/// Runs the full GA firmware to convergence (best fitness 60) or until
+/// `max_cycles`. `seed` must be nonzero (it seeds the 16-bit LFSR).
+[[nodiscard]] GaFirmwareResult run_ga_firmware(std::uint16_t seed,
+                                               std::uint64_t max_cycles);
+
+}  // namespace leo::cpu

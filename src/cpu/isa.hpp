@@ -1,0 +1,117 @@
+// isa.hpp — MCU16: the instruction set of the processor-based controller.
+//
+// Leonardo's original main board is processor-based, "derived from the
+// Khepera robot hardware" (paper §2); the FPGA board replaces it. To
+// quantify what that replacement buys (the paper's motivation: "we want
+// to avoid the use of processors"), we model a compact 16-bit embedded
+// load/store MCU of that era and run the same GA as firmware on it,
+// cycle-counted at the same 1 MHz.
+//
+// Architecture: 8 x 16-bit registers, Harvard memories (64K words each),
+// Z/C/N flags. Encodings:
+//
+//   op[15:12]  fields
+//   0 SYS      func[2:0]: 0 NOP, 1 HALT, 2 RET (PC = r7)
+//   1 ALU      rd[11:9] rs[8:6] rt[5:3] func[2:0]:
+//              0 ADD, 1 SUB, 2 AND, 3 OR, 4 XOR, 5 SHL, 6 SHR, 7 MOV
+//              (SHL/SHR shift rs by rt & 15; MOV ignores rt)
+//   2 LDI      rd[11:9] imm8: rd = imm8 (zero-extended)
+//   3 LDIH     rd[11:9] imm8: rd = (imm8 << 8) | (rd & 0xFF)
+//   4 ADDI     rd[11:9] imm8: rd += sign_extend(imm8)
+//   5 LD       rd[11:9] rs[8:6] imm6: rd = mem[rs + imm6]
+//   6 ST       rt[11:9] rs[8:6] imm6: mem[rs + imm6] = rt
+//   7 BR       cond[11:9] off9[8:0] (signed, PC-relative to next):
+//              0 AL, 1 Z, 2 NZ, 3 C, 4 NC, 5 N, 6 NN
+//   8 JAL      rd[11:9] rs[8:6]: rd = PC + 1; PC = rs
+//   9 CMP      rs[11:9] rt[8:6]: flags of rs - rt
+//
+// Flags: every ALU op, ADDI and CMP set Z and N; ADD/ADDI set C = carry,
+// SUB/CMP set C = "no borrow" (rs >= rt unsigned).
+//
+// Cycle costs at 1 MHz: LD/ST and JAL 2 cycles, taken branches 2,
+// everything else 1 — typical for a small MCU with one wait state.
+#pragma once
+
+#include <cstdint>
+
+namespace leo::cpu {
+
+inline constexpr unsigned kNumRegisters = 8;
+
+enum class Op : std::uint8_t {
+  kSys = 0,
+  kAlu = 1,
+  kLdi = 2,
+  kLdih = 3,
+  kAddi = 4,
+  kLd = 5,
+  kSt = 6,
+  kBr = 7,
+  kJal = 8,
+  kCmp = 9,
+};
+
+enum class AluFunc : std::uint8_t {
+  kAdd = 0,
+  kSub = 1,
+  kAnd = 2,
+  kOr = 3,
+  kXor = 4,
+  kShl = 5,
+  kShr = 6,
+  kMov = 7,
+};
+
+enum class Cond : std::uint8_t {
+  kAlways = 0,
+  kZ = 1,
+  kNz = 2,
+  kC = 3,
+  kNc = 4,
+  kN = 5,
+  kNn = 6,
+};
+
+// --- encoders (used by the assembler and by tests) ---
+
+[[nodiscard]] constexpr std::uint16_t enc_sys(unsigned func) {
+  return static_cast<std::uint16_t>(func & 0x7);
+}
+[[nodiscard]] constexpr std::uint16_t enc_alu(AluFunc f, unsigned rd,
+                                              unsigned rs, unsigned rt) {
+  return static_cast<std::uint16_t>((1u << 12) | ((rd & 7) << 9) |
+                                    ((rs & 7) << 6) | ((rt & 7) << 3) |
+                                    static_cast<unsigned>(f));
+}
+[[nodiscard]] constexpr std::uint16_t enc_imm8(Op op, unsigned rd,
+                                               unsigned imm8) {
+  return static_cast<std::uint16_t>((static_cast<unsigned>(op) << 12) |
+                                    ((rd & 7) << 9) | (imm8 & 0xFF));
+}
+[[nodiscard]] constexpr std::uint16_t enc_mem(Op op, unsigned reg,
+                                              unsigned rs, unsigned imm6) {
+  return static_cast<std::uint16_t>((static_cast<unsigned>(op) << 12) |
+                                    ((reg & 7) << 9) | ((rs & 7) << 6) |
+                                    (imm6 & 0x3F));
+}
+[[nodiscard]] constexpr std::uint16_t enc_br(Cond cond, int off9) {
+  return static_cast<std::uint16_t>((7u << 12) |
+                                    ((static_cast<unsigned>(cond) & 7) << 9) |
+                                    (static_cast<unsigned>(off9) & 0x1FF));
+}
+[[nodiscard]] constexpr std::uint16_t enc_jal(unsigned rd, unsigned rs) {
+  return static_cast<std::uint16_t>((8u << 12) | ((rd & 7) << 9) |
+                                    ((rs & 7) << 6));
+}
+[[nodiscard]] constexpr std::uint16_t enc_cmp(unsigned rs, unsigned rt) {
+  return static_cast<std::uint16_t>((9u << 12) | ((rs & 7) << 9) |
+                                    ((rt & 7) << 6));
+}
+
+inline constexpr std::uint16_t kInsnNop = enc_sys(0);
+inline constexpr std::uint16_t kInsnHalt = enc_sys(1);
+inline constexpr std::uint16_t kInsnRet = enc_sys(2);
+/// The link register used by the CALL/RET convention.
+inline constexpr unsigned kLinkReg = 7;
+
+}  // namespace leo::cpu

@@ -1,0 +1,176 @@
+#include "cpu/mcu.hpp"
+
+#include <stdexcept>
+
+namespace leo::cpu {
+
+Mcu::Mcu() : program_(kProgramWords, kInsnHalt), data_(kDataWords, 0) {}
+
+void Mcu::load_program(const std::vector<std::uint16_t>& words) {
+  if (words.size() > kProgramWords) {
+    throw std::invalid_argument("Mcu: program too large");
+  }
+  std::fill(program_.begin(), program_.end(), kInsnHalt);
+  std::copy(words.begin(), words.end(), program_.begin());
+  reset();
+}
+
+void Mcu::reset() {
+  regs_.fill(0);
+  pc_ = 0;
+  z_ = c_ = n_ = false;
+  halted_ = false;
+  cycles_ = 0;
+  instructions_ = 0;
+}
+
+std::uint16_t Mcu::reg(unsigned index) const {
+  if (index >= kNumRegisters) throw std::out_of_range("Mcu::reg");
+  return regs_[index];
+}
+
+void Mcu::set_reg(unsigned index, std::uint16_t value) {
+  if (index >= kNumRegisters) throw std::out_of_range("Mcu::set_reg");
+  regs_[index] = value;
+}
+
+void Mcu::set_zn(std::uint16_t value) noexcept {
+  z_ = value == 0;
+  n_ = (value & 0x8000) != 0;
+}
+
+bool Mcu::step() {
+  if (halted_) return false;
+  const std::uint16_t insn = program_[pc_];
+  const auto op = static_cast<Op>(insn >> 12);
+  const unsigned f9 = (insn >> 9) & 7;   // rd / rt / cond / rs(cmp)
+  const unsigned f6 = (insn >> 6) & 7;   // rs / rt(cmp)
+  const unsigned f3 = (insn >> 3) & 7;   // rt
+  std::uint16_t next_pc = static_cast<std::uint16_t>(pc_ + 1);
+  std::uint64_t cost = 1;
+
+  switch (op) {
+    case Op::kSys:
+      if ((insn & 7) == 1) {
+        halted_ = true;
+      } else if ((insn & 7) == 2) {  // RET
+        next_pc = regs_[kLinkReg];
+        cost = 2;
+      }
+      break;
+
+    case Op::kAlu: {
+      const std::uint16_t a = regs_[f6];
+      const std::uint16_t b = regs_[f3];
+      std::uint32_t r = 0;
+      switch (static_cast<AluFunc>(insn & 7)) {
+        case AluFunc::kAdd:
+          r = static_cast<std::uint32_t>(a) + b;
+          c_ = r > 0xFFFF;
+          break;
+        case AluFunc::kSub:
+          r = static_cast<std::uint32_t>(a) - b;
+          c_ = a >= b;  // no borrow
+          break;
+        case AluFunc::kAnd: r = a & b; break;
+        case AluFunc::kOr: r = a | b; break;
+        case AluFunc::kXor: r = a ^ b; break;
+        case AluFunc::kShl: r = static_cast<std::uint32_t>(a) << (b & 15); break;
+        case AluFunc::kShr: r = a >> (b & 15); break;
+        case AluFunc::kMov: r = a; break;
+      }
+      regs_[f9] = static_cast<std::uint16_t>(r);
+      set_zn(regs_[f9]);
+      break;
+    }
+
+    case Op::kLdi:
+      regs_[f9] = static_cast<std::uint16_t>(insn & 0xFF);
+      set_zn(regs_[f9]);
+      break;
+
+    case Op::kLdih:
+      regs_[f9] = static_cast<std::uint16_t>(((insn & 0xFF) << 8) |
+                                             (regs_[f9] & 0xFF));
+      set_zn(regs_[f9]);
+      break;
+
+    case Op::kAddi: {
+      const auto imm = static_cast<std::int16_t>(
+          static_cast<std::int8_t>(insn & 0xFF));
+      const std::uint32_t r =
+          static_cast<std::uint32_t>(regs_[f9]) +
+          static_cast<std::uint16_t>(imm);
+      c_ = r > 0xFFFF;
+      regs_[f9] = static_cast<std::uint16_t>(r);
+      set_zn(regs_[f9]);
+      break;
+    }
+
+    case Op::kLd:
+      regs_[f9] = data_[static_cast<std::uint16_t>(regs_[f6] + (insn & 0x3F))];
+      cost = 2;
+      break;
+
+    case Op::kSt:
+      data_[static_cast<std::uint16_t>(regs_[f6] + (insn & 0x3F))] = regs_[f9];
+      cost = 2;
+      break;
+
+    case Op::kBr: {
+      bool take = false;
+      switch (static_cast<Cond>(f9)) {
+        case Cond::kAlways: take = true; break;
+        case Cond::kZ: take = z_; break;
+        case Cond::kNz: take = !z_; break;
+        case Cond::kC: take = c_; break;
+        case Cond::kNc: take = !c_; break;
+        case Cond::kN: take = n_; break;
+        case Cond::kNn: take = !n_; break;
+      }
+      if (take) {
+        // off9: signed 9-bit, relative to the next instruction.
+        int off = insn & 0x1FF;
+        if (off & 0x100) off -= 0x200;
+        next_pc = static_cast<std::uint16_t>(pc_ + 1 + off);
+        cost = 2;
+      }
+      break;
+    }
+
+    case Op::kJal: {
+      const std::uint16_t target = regs_[f6];
+      regs_[f9] = static_cast<std::uint16_t>(pc_ + 1);
+      next_pc = target;
+      cost = 2;
+      break;
+    }
+
+    case Op::kCmp: {
+      const std::uint16_t a = regs_[f9];
+      const std::uint16_t b = regs_[f6];
+      const auto r = static_cast<std::uint16_t>(a - b);
+      c_ = a >= b;
+      set_zn(r);
+      break;
+    }
+
+    default:
+      throw std::runtime_error("Mcu: illegal opcode at PC " +
+                               std::to_string(pc_));
+  }
+
+  pc_ = next_pc;
+  cycles_ += cost;
+  ++instructions_;
+  return !halted_;
+}
+
+bool Mcu::run(std::uint64_t max_cycles) {
+  while (!halted_ && cycles_ < max_cycles) {
+    step();
+  }
+  return halted_;
+}
+
+}  // namespace leo::cpu

@@ -1,0 +1,68 @@
+// mcu.hpp — cycle-counted interpreter for the MCU16 core (see isa.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cpu/isa.hpp"
+
+namespace leo::cpu {
+
+class Mcu {
+ public:
+  static constexpr std::size_t kProgramWords = 1u << 16;
+  static constexpr std::size_t kDataWords = 1u << 16;
+
+  Mcu();
+
+  /// Loads a program at address 0 and resets the core.
+  void load_program(const std::vector<std::uint16_t>& words);
+
+  /// Resets registers, flags, PC and the cycle counter (memories persist;
+  /// call load_program to replace code, poke to set data).
+  void reset();
+
+  /// Executes one instruction; returns false once halted.
+  bool step();
+
+  /// Runs until HALT or `max_cycles`; returns true if halted.
+  bool run(std::uint64_t max_cycles);
+
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+  [[nodiscard]] std::uint64_t instructions() const noexcept {
+    return instructions_;
+  }
+  [[nodiscard]] std::uint16_t pc() const noexcept { return pc_; }
+
+  [[nodiscard]] std::uint16_t reg(unsigned index) const;
+  void set_reg(unsigned index, std::uint16_t value);
+
+  [[nodiscard]] std::uint16_t peek(std::uint16_t addr) const noexcept {
+    return data_[addr];
+  }
+  void poke(std::uint16_t addr, std::uint16_t value) noexcept {
+    data_[addr] = value;
+  }
+
+  [[nodiscard]] bool flag_z() const noexcept { return z_; }
+  [[nodiscard]] bool flag_c() const noexcept { return c_; }
+  [[nodiscard]] bool flag_n() const noexcept { return n_; }
+
+ private:
+  void set_zn(std::uint16_t value) noexcept;
+
+  std::vector<std::uint16_t> program_;
+  std::vector<std::uint16_t> data_;
+  std::array<std::uint16_t, kNumRegisters> regs_{};
+  std::uint16_t pc_ = 0;
+  bool z_ = false;
+  bool c_ = false;
+  bool n_ = false;
+  bool halted_ = false;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t instructions_ = 0;
+};
+
+}  // namespace leo::cpu

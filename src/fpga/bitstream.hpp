@@ -1,0 +1,42 @@
+// bitstream.hpp — configuration frames for the evolvable controller.
+//
+// The paper's reconfiguration is literal FPGA practice: the genome is "a
+// bit-stream" that configures the walking state machine (§3.1), and the
+// board carries a configuration ROM (§2). This module models that path:
+// a genome is packed into a framed, CRC-protected configuration stream
+// (the format a config ROM would hold) and unpacked on load, with
+// corruption detected — the property a robot in the field depends on.
+//
+// Frame layout (bits, LSB-first within each field):
+//   magic   : 16  = 0x4C44 ("LD")
+//   version : 8   = 1
+//   width   : 8   = payload bit count (36 for a gait genome)
+//   payload : `width` bits
+//   crc     : 16  CRC-16/CCITT-FALSE over magic..payload, bytewise on the
+//                 packed little-endian bit order
+#pragma once
+
+#include <cstdint>
+
+#include "util/bitvec.hpp"
+
+namespace leo::fpga {
+
+inline constexpr std::uint16_t kFrameMagic = 0x4C44;
+inline constexpr std::uint8_t kFrameVersion = 1;
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF, no reflection).
+[[nodiscard]] std::uint16_t crc16_ccitt(const util::BitVec& bits);
+
+/// Packs a payload into a configuration frame.
+[[nodiscard]] util::BitVec pack_frame(const util::BitVec& payload);
+
+/// Unpacks and validates a frame. Throws std::runtime_error on bad magic,
+/// version, width, or CRC.
+[[nodiscard]] util::BitVec unpack_frame(const util::BitVec& frame);
+
+/// Convenience for the 36-bit gait genome.
+[[nodiscard]] util::BitVec pack_genome(std::uint64_t genome_bits);
+[[nodiscard]] std::uint64_t unpack_genome(const util::BitVec& frame);
+
+}  // namespace leo::fpga

@@ -1,0 +1,229 @@
+#include "fpga/fitness_netlist.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "genome/gait_genome.hpp"
+
+namespace leo::fpga {
+
+namespace {
+
+/// Little-endian bit bus.
+using Bus = std::vector<NodeId>;
+
+struct Builder {
+  Netlist& nl;
+
+  [[nodiscard]] NodeId half_sum(NodeId a, NodeId b) {
+    return nl.add_gate(GateOp::kXor, {a, b});
+  }
+
+  /// Full adder returning {sum, carry}.
+  [[nodiscard]] std::pair<NodeId, NodeId> full_add(NodeId a, NodeId b,
+                                                   NodeId cin) {
+    const NodeId axb = nl.add_gate(GateOp::kXor, {a, b});
+    const NodeId sum = nl.add_gate(GateOp::kXor, {axb, cin});
+    const NodeId carry = nl.add_gate(
+        GateOp::kOr,
+        {nl.add_gate(GateOp::kAnd, {a, b}),
+         nl.add_gate(GateOp::kAnd, {axb, cin})});
+    return {sum, carry};
+  }
+
+  /// Ripple-carry a + b (+ cin), width = max(|a|, |b|) + 1.
+  [[nodiscard]] Bus add(const Bus& a, const Bus& b, NodeId cin) {
+    const std::size_t width = std::max(a.size(), b.size());
+    Bus out;
+    out.reserve(width + 1);
+    NodeId carry = cin;
+    for (std::size_t i = 0; i < width; ++i) {
+      const NodeId ai = i < a.size() ? a[i] : nl.constant(false);
+      const NodeId bi = i < b.size() ? b[i] : nl.constant(false);
+      auto [sum, cout] = full_add(ai, bi, carry);
+      out.push_back(sum);
+      carry = cout;
+    }
+    out.push_back(carry);
+    return out;
+  }
+
+  /// Adder-tree population count of arbitrary bits.
+  [[nodiscard]] Bus popcount(std::vector<Bus> terms) {
+    if (terms.empty()) return {nl.constant(false)};
+    while (terms.size() > 1) {
+      std::vector<Bus> next;
+      next.reserve((terms.size() + 1) / 2);
+      for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+        next.push_back(add(terms[i], terms[i + 1], nl.constant(false)));
+      }
+      if (terms.size() % 2 != 0) next.push_back(terms.back());
+      terms = std::move(next);
+    }
+    return terms.front();
+  }
+
+  [[nodiscard]] Bus popcount_bits(const std::vector<NodeId>& bits) {
+    std::vector<Bus> terms;
+    terms.reserve(bits.size());
+    for (NodeId b : bits) terms.push_back(Bus{b});
+    return popcount(std::move(terms));
+  }
+
+  /// value * multiplier via shift-and-add (multiplier up to 15).
+  [[nodiscard]] Bus mul_const(const Bus& value, unsigned multiplier) {
+    if (multiplier == 0) return {nl.constant(false)};
+    Bus acc;
+    bool first = true;
+    for (unsigned bit = 0; bit < 4; ++bit) {
+      if (!(multiplier & (1u << bit))) continue;
+      Bus shifted;
+      for (unsigned i = 0; i < bit; ++i) shifted.push_back(nl.constant(false));
+      shifted.insert(shifted.end(), value.begin(), value.end());
+      if (first) {
+        acc = std::move(shifted);
+        first = false;
+      } else {
+        acc = add(acc, shifted, nl.constant(false));
+      }
+    }
+    return acc;
+  }
+
+  /// constant - value, truncated to `width` bits (constant >= value by
+  /// construction here, so no borrow escapes).
+  [[nodiscard]] Bus sub_from_const(unsigned constant, const Bus& value,
+                                   std::size_t width) {
+    Bus const_bus;
+    Bus inverted;
+    for (std::size_t i = 0; i < width; ++i) {
+      const_bus.push_back(nl.constant((constant >> i) & 1));
+      inverted.push_back(i < value.size() ? nl.add_not(value[i])
+                                          : nl.constant(true));
+    }
+    Bus sum = add(const_bus, inverted, nl.constant(true));
+    sum.resize(width);  // drop the wrap-around carry
+    return sum;
+  }
+};
+
+}  // namespace
+
+Netlist build_fitness_netlist(const fitness::FitnessSpec& spec) {
+  using genome::kNumLegs;
+  using genome::kNumSteps;
+
+  Netlist nl;
+  Builder b{nl};
+
+  // Genome inputs, g[bit] in packed order (step*18 + leg*3 + field).
+  std::array<NodeId, genome::kGenomeBits> g{};
+  for (std::size_t i = 0; i < genome::kGenomeBits; ++i) {
+    g[i] = nl.add_input("g" + std::to_string(i));
+  }
+  const auto v_first = [&](unsigned step, unsigned leg) {
+    return g[step * 18 + leg * 3 + 0];
+  };
+  const auto horiz = [&](unsigned step, unsigned leg) {
+    return g[step * 18 + leg * 3 + 1];
+  };
+  const auto v_last = [&](unsigned step, unsigned leg) {
+    return g[step * 18 + leg * 3 + 2];
+  };
+
+  // R1 equilibrium: one AND3 per (step, settled pose, side).
+  std::vector<NodeId> r1_bits;
+  for (unsigned step = 0; step < kNumSteps; ++step) {
+    for (const bool use_last : {false, true}) {
+      for (unsigned side = 0; side < 2; ++side) {
+        std::vector<NodeId> legs_up;
+        for (unsigned i = 0; i < kNumLegs / 2; ++i) {
+          const unsigned leg = side * 3 + i;
+          legs_up.push_back(use_last ? v_last(step, leg)
+                                     : v_first(step, leg));
+        }
+        r1_bits.push_back(nl.add_gate(GateOp::kAnd, legs_up));
+      }
+    }
+  }
+
+  // R2 symmetry: violation when both steps share the horizontal direction
+  // (XNOR = NOT XOR).
+  std::vector<NodeId> r2_bits;
+  for (unsigned leg = 0; leg < kNumLegs; ++leg) {
+    r2_bits.push_back(
+        nl.add_not(nl.add_gate(GateOp::kXor, {horiz(0, leg), horiz(1, leg)})));
+  }
+
+  // R3 coherence: violation when the horizontal direction disagrees with
+  // the preceding vertical position.
+  std::vector<NodeId> r3_bits;
+  for (unsigned step = 0; step < kNumSteps; ++step) {
+    for (unsigned leg = 0; leg < kNumLegs; ++leg) {
+      r3_bits.push_back(
+          nl.add_gate(GateOp::kXor, {horiz(step, leg), v_first(step, leg)}));
+    }
+  }
+
+  // R4 support (extension): popcount of the six airborne bits per settled
+  // pose; "more than three" is simply bit 2 of the count (counts 4..6).
+  std::vector<NodeId> r4_bits;
+  if (spec.use_support) {
+    for (unsigned step = 0; step < kNumSteps; ++step) {
+      for (const bool use_last : {false, true}) {
+        std::vector<NodeId> raised;
+        for (unsigned leg = 0; leg < kNumLegs; ++leg) {
+          raised.push_back(use_last ? v_last(step, leg) : v_first(step, leg));
+        }
+        Bus count = b.popcount_bits(raised);
+        NodeId violation = count.size() > 2 ? count[2] : nl.constant(false);
+        for (std::size_t i = 3; i < count.size(); ++i) {
+          violation = nl.add_gate(GateOp::kOr, {violation, count[i]});
+        }
+        r4_bits.push_back(violation);
+      }
+    }
+  }
+
+  // penalty = sum of enabled weighted violation counts; score = max - it.
+  Bus penalty{nl.constant(false)};
+  if (spec.use_equilibrium) {
+    penalty = b.add(penalty, b.mul_const(b.popcount_bits(r1_bits),
+                                         spec.w_equilibrium),
+                    nl.constant(false));
+  }
+  if (spec.use_symmetry) {
+    penalty = b.add(penalty,
+                    b.mul_const(b.popcount_bits(r2_bits), spec.w_symmetry),
+                    nl.constant(false));
+  }
+  if (spec.use_coherence) {
+    penalty = b.add(penalty,
+                    b.mul_const(b.popcount_bits(r3_bits), spec.w_coherence),
+                    nl.constant(false));
+  }
+  if (spec.use_support) {
+    penalty = b.add(penalty,
+                    b.mul_const(b.popcount_bits(r4_bits), spec.w_support),
+                    nl.constant(false));
+  }
+
+  unsigned width = 1;
+  while ((1u << width) <= spec.max_score()) ++width;
+  const Bus score = b.sub_from_const(spec.max_score(), penalty, width);
+  for (std::size_t i = 0; i < score.size(); ++i) {
+    nl.mark_output(score[i], "score" + std::to_string(i));
+  }
+  return nl;
+}
+
+unsigned eval_fitness_netlist(const Netlist& netlist,
+                              std::uint64_t genome_bits) {
+  std::vector<bool> inputs(genome::kGenomeBits);
+  for (std::size_t i = 0; i < genome::kGenomeBits; ++i) {
+    inputs[i] = (genome_bits >> i) & 1;
+  }
+  return static_cast<unsigned>(netlist.evaluate_outputs(inputs));
+}
+
+}  // namespace leo::fpga

@@ -1,0 +1,28 @@
+// fitness_netlist.hpp — the fitness module elaborated to gates.
+//
+// Demonstrates the paper's central enabling claim — that the three rules
+// are implementable as pure combinational logic in an FPGA — by actually
+// synthesizing them: rule predicates as AND/XOR gates, violation counts
+// as ripple adder trees, the weighted score as shift-and-add, and the
+// final "max - penalty" as a two's-complement subtraction. The result is
+// simulatable (tests check it against fitness::score bit-for-bit) and
+// technology-mappable (techmap.hpp), giving first-principles CLB numbers
+// for the E3 resource reproduction.
+#pragma once
+
+#include "fitness/rules.hpp"
+#include "fpga/netlist.hpp"
+
+namespace leo::fpga {
+
+/// Builds the fitness circuit: 36 inputs "g0".."g35" (genome bit order of
+/// genome/gait_genome.hpp), outputs "score0".. (LSB first) wide enough
+/// for spec.max_score().
+[[nodiscard]] Netlist build_fitness_netlist(
+    const fitness::FitnessSpec& spec = fitness::kDefaultSpec);
+
+/// Evaluates a fitness netlist on a packed genome word.
+[[nodiscard]] unsigned eval_fitness_netlist(const Netlist& netlist,
+                                            std::uint64_t genome_bits);
+
+}  // namespace leo::fpga

@@ -1,0 +1,124 @@
+#include "fpga/netlist.hpp"
+
+#include <stdexcept>
+
+namespace leo::fpga {
+
+NodeId Netlist::add_node(Gate gate) {
+  gates_.push_back(std::move(gate));
+  return static_cast<NodeId>(gates_.size() - 1);
+}
+
+void Netlist::check_node(NodeId id) const {
+  if (id >= gates_.size()) {
+    throw std::out_of_range("Netlist: node " + std::to_string(id));
+  }
+}
+
+NodeId Netlist::add_input(std::string name) {
+  const NodeId id = add_node(Gate{GateOp::kInput, {}, std::move(name)});
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::constant(bool value) {
+  NodeId& cached = value ? const1_ : const0_;
+  if (cached == UINT32_MAX) {
+    cached = add_node(Gate{value ? GateOp::kConst1 : GateOp::kConst0, {}, ""});
+  }
+  return cached;
+}
+
+NodeId Netlist::add_not(NodeId a) {
+  check_node(a);
+  return add_node(Gate{GateOp::kNot, {a}, ""});
+}
+
+NodeId Netlist::add_gate(GateOp op, const std::vector<NodeId>& inputs) {
+  if (op != GateOp::kAnd && op != GateOp::kOr && op != GateOp::kXor) {
+    throw std::invalid_argument("Netlist::add_gate: op must be AND/OR/XOR");
+  }
+  if (inputs.size() < 2) {
+    throw std::invalid_argument("Netlist::add_gate: needs >= 2 inputs");
+  }
+  for (NodeId id : inputs) check_node(id);
+  // Balanced tree of 2-input gates so techmap sees real primitives.
+  std::vector<NodeId> level = inputs;
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(add_node(Gate{op, {level[i], level[i + 1]}, ""}));
+    }
+    if (level.size() % 2 != 0) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+void Netlist::mark_output(NodeId node, std::string name) {
+  check_node(node);
+  outputs_.emplace_back(node, std::move(name));
+}
+
+std::size_t Netlist::gate_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& g : gates_) {
+    if (g.op != GateOp::kInput && g.op != GateOp::kConst0 &&
+        g.op != GateOp::kConst1) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<bool> Netlist::evaluate(
+    const std::vector<bool>& input_values) const {
+  if (input_values.size() != inputs_.size()) {
+    throw std::invalid_argument("Netlist::evaluate: input count mismatch");
+  }
+  std::vector<bool> value(gates_.size(), false);
+  std::size_t input_cursor = 0;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    switch (g.op) {
+      case GateOp::kInput:
+        value[i] = input_values[input_cursor++];
+        break;
+      case GateOp::kConst0:
+        value[i] = false;
+        break;
+      case GateOp::kConst1:
+        value[i] = true;
+        break;
+      case GateOp::kNot:
+        value[i] = !value[g.inputs[0]];
+        break;
+      case GateOp::kAnd:
+        value[i] = value[g.inputs[0]] && value[g.inputs[1]];
+        break;
+      case GateOp::kOr:
+        value[i] = value[g.inputs[0]] || value[g.inputs[1]];
+        break;
+      case GateOp::kXor:
+        value[i] = value[g.inputs[0]] != value[g.inputs[1]];
+        break;
+    }
+  }
+  return value;
+}
+
+std::uint64_t Netlist::evaluate_outputs(
+    const std::vector<bool>& input_values) const {
+  if (outputs_.size() > 64) {
+    throw std::logic_error("Netlist::evaluate_outputs: > 64 outputs");
+  }
+  const std::vector<bool> value = evaluate(input_values);
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    if (value[outputs_[i].first]) out |= std::uint64_t{1} << i;
+  }
+  return out;
+}
+
+}  // namespace leo::fpga

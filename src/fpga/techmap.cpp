@@ -1,0 +1,81 @@
+#include "fpga/techmap.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace leo::fpga {
+
+MappingResult map_to_lut4(const Netlist& netlist) {
+  const auto& gates = netlist.gates();
+  const std::size_t n = gates.size();
+
+  std::vector<std::uint32_t> fanout(n, 0);
+  for (const auto& g : gates) {
+    for (NodeId in : g.inputs) ++fanout[in];
+  }
+  for (const auto& [node, name] : netlist.outputs()) ++fanout[node];
+
+  const auto is_logic = [&](NodeId id) {
+    const GateOp op = gates[id].op;
+    return op == GateOp::kNot || op == GateOp::kAnd || op == GateOp::kOr ||
+           op == GateOp::kXor;
+  };
+
+  // leaves[i]: the cone leaf set if gate i is (currently) a LUT root.
+  // absorbed[i]: gate i was merged into its single fanout's LUT.
+  std::vector<std::set<NodeId>> leaves(n);
+  std::vector<bool> absorbed(n, false);
+  std::vector<std::size_t> depth(n, 0);
+
+  MappingResult result;
+  for (NodeId id = 0; id < n; ++id) {
+    if (!is_logic(id)) continue;
+    // Start with direct inputs as leaves, then greedily absorb
+    // single-fanout logic fan-ins whose cones fit.
+    std::set<NodeId> cone;
+    std::size_t max_in_depth = 0;
+    for (NodeId in : gates[id].inputs) cone.insert(in);
+    for (NodeId in : gates[id].inputs) {
+      if (!is_logic(in) || fanout[in] != 1 || leaves[in].empty()) {
+        if (is_logic(in)) max_in_depth = std::max(max_in_depth, depth[in]);
+        continue;
+      }
+      std::set<NodeId> merged = cone;
+      merged.erase(in);
+      merged.insert(leaves[in].begin(), leaves[in].end());
+      if (merged.size() <= 4) {
+        cone = std::move(merged);
+        absorbed[in] = true;
+        ++result.gates_covered;
+        // Absorption keeps the absorbed gate's own input depth.
+        max_in_depth = std::max(max_in_depth, depth[in] > 0 ? depth[in] - 1
+                                                            : 0);
+      } else {
+        max_in_depth = std::max(max_in_depth, depth[in]);
+      }
+    }
+    leaves[id] = std::move(cone);
+    depth[id] = max_in_depth + 1;
+  }
+
+  for (NodeId id = 0; id < n; ++id) {
+    if (is_logic(id) && !absorbed[id]) {
+      ++result.lut4;
+      result.depth = std::max(result.depth, depth[id]);
+    }
+  }
+  return result;
+}
+
+std::uint64_t clbs_for(const rtl::ResourceTally& tally) {
+  // Two LUT4s and two FFs per CLB; a mapped design packs FFs into the
+  // CLBs whose LUTs feed them, so logic CLBs are the max of the two
+  // demands, not the sum. Select-RAM mode claims full CLBs (32 bits each).
+  const std::uint64_t lut_clbs = (tally.lut4 + 1) / 2;
+  const std::uint64_t ff_clbs = (tally.ff + 1) / 2;
+  const std::uint64_t ram_clbs = (tally.ram_bits + 31) / 32;
+  return std::max(lut_clbs, ff_clbs) + ram_clbs;
+}
+
+}  // namespace leo::fpga

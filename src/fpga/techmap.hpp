@@ -1,0 +1,39 @@
+// techmap.hpp — technology mapping onto the XC4000 CLB.
+//
+// An XC4000-series CLB offers two 4-input function generators (F and G),
+// a third 3-input generator (H) combining them, and two flip-flops; in
+// RAM mode a CLB stores 32 bits (2 x 16x1). The mapper covers a gate
+// netlist with 4-input LUTs using greedy fanout-free-cone packing (a
+// simplified FlowMap): a gate absorbs single-fanout fan-in gates while
+// the merged cone keeps <= 4 leaf inputs.
+//
+// Module-level tallies (rtl::ResourceTally) are converted to CLBs with
+// the same cell geometry, which is how the full-design estimate of
+// DESIGN.md E3 is produced.
+#pragma once
+
+#include <cstdint>
+
+#include "fpga/netlist.hpp"
+#include "rtl/module.hpp"
+
+namespace leo::fpga {
+
+struct MappingResult {
+  std::size_t lut4 = 0;        ///< LUTs after covering
+  std::size_t gates_covered = 0;  ///< 2-input gates absorbed into LUTs
+  std::size_t depth = 0;       ///< LUT levels on the critical path
+};
+
+/// Covers `netlist` with 4-input LUTs.
+[[nodiscard]] MappingResult map_to_lut4(const Netlist& netlist);
+
+/// CLB demand of a primitive tally: LUT pairs and FF pairs share CLBs
+/// (placement packs them together), select-RAM claims whole CLBs.
+[[nodiscard]] std::uint64_t clbs_for(const rtl::ResourceTally& tally);
+
+/// CLB <-> gate-equivalents conversion used by 1990s Xilinx marketing and
+/// by the paper ("1296 CLBs... around 30,000 logic gates" => ~23/CLB).
+inline constexpr double kGatesPerClb = 23.0;
+
+}  // namespace leo::fpga

@@ -1,0 +1,55 @@
+#include "fpga/xc4000.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace leo::fpga {
+
+namespace {
+void collect(const rtl::Module& m, UtilizationReport& report) {
+  ModuleUsage usage;
+  usage.path = m.full_name();
+  usage.tally = m.own_resources();
+  usage.clbs = clbs_for(usage.tally);
+  report.total += usage.tally;
+  report.total_clbs += usage.clbs;
+  report.modules.push_back(std::move(usage));
+  for (const auto* child : m.children()) {
+    collect(*child, report);
+  }
+}
+}  // namespace
+
+UtilizationReport report_utilization(const rtl::Module& top,
+                                     const Device& device) {
+  UtilizationReport report;
+  collect(top, report);
+  report.utilization = static_cast<double>(report.total_clbs) /
+                       static_cast<double>(device.clbs());
+  report.gate_equivalents =
+      static_cast<double>(report.total_clbs) * kGatesPerClb;
+  return report;
+}
+
+std::string UtilizationReport::to_string(const Device& device) const {
+  std::ostringstream out;
+  out << "Resource utilization on " << device.name << " (" << device.clbs()
+      << " CLBs)\n";
+  out << std::left << std::setw(52) << "module" << std::right << std::setw(8)
+      << "LUT4" << std::setw(8) << "FF" << std::setw(10) << "RAMbits"
+      << std::setw(8) << "CLBs" << "\n";
+  for (const auto& m : modules) {
+    out << std::left << std::setw(52) << m.path << std::right << std::setw(8)
+        << m.tally.lut4 << std::setw(8) << m.tally.ff << std::setw(10)
+        << m.tally.ram_bits << std::setw(8) << m.clbs << "\n";
+  }
+  out << std::left << std::setw(52) << "TOTAL" << std::right << std::setw(8)
+      << total.lut4 << std::setw(8) << total.ff << std::setw(10)
+      << total.ram_bits << std::setw(8) << total_clbs << "\n";
+  out << "utilization: " << std::fixed << std::setprecision(1)
+      << utilization * 100.0 << " % of " << device.name << "; ~"
+      << std::setprecision(0) << gate_equivalents << " gate equivalents\n";
+  return out.str();
+}
+
+}  // namespace leo::fpga

@@ -1,0 +1,56 @@
+// xc4000.hpp — device model of the paper's FPGA and the resource report.
+//
+// "The FPGA-based board ... is composed only of an FPGA (Xilinx
+//  XC4036EX), configuration ROM memory, a stabilized power supply ... and
+//  a clock." (§2)
+// "The complete system implemented in the XC4036ex FPGA uses 96 percent
+//  of the available CLBs, i.e. 1296 CLBs. It represents around 30,000
+//  logic gates." (§3.3)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fpga/techmap.hpp"
+#include "rtl/module.hpp"
+
+namespace leo::fpga {
+
+struct Device {
+  std::string name;
+  unsigned rows;
+  unsigned cols;
+  [[nodiscard]] constexpr std::uint64_t clbs() const noexcept {
+    return std::uint64_t{rows} * cols;
+  }
+  [[nodiscard]] double gate_capacity() const noexcept {
+    return static_cast<double>(clbs()) * kGatesPerClb;
+  }
+};
+
+/// The paper's device: a 36 x 36 CLB array = 1296 CLBs.
+inline constexpr Device kXc4036Ex{"XC4036EX", 36, 36};
+
+/// Per-module row of the utilization report.
+struct ModuleUsage {
+  std::string path;
+  rtl::ResourceTally tally;
+  std::uint64_t clbs = 0;
+};
+
+struct UtilizationReport {
+  std::vector<ModuleUsage> modules;  ///< leaf-exclusive, hierarchy order
+  rtl::ResourceTally total;
+  std::uint64_t total_clbs = 0;
+  double utilization = 0.0;          ///< fraction of the device's CLBs
+  double gate_equivalents = 0.0;
+
+  [[nodiscard]] std::string to_string(const Device& device) const;
+};
+
+/// Walks a design and produces the report against `device` (the paper's
+/// Fig. 3 system on the XC4036EX by default).
+[[nodiscard]] UtilizationReport report_utilization(
+    const rtl::Module& top, const Device& device = kXc4036Ex);
+
+}  // namespace leo::fpga

@@ -1,0 +1,55 @@
+#include "ga/baselines.hpp"
+
+#include <stdexcept>
+
+namespace leo::ga {
+
+ScanResult exhaustive_scan(std::uint64_t begin, std::uint64_t end,
+                           const FitnessU64Fn& fitness,
+                           std::optional<unsigned> target_fitness) {
+  if (begin > end) throw std::invalid_argument("exhaustive_scan: begin > end");
+  ScanResult r;
+  for (std::uint64_t g = begin; g < end; ++g) {
+    const unsigned f = fitness(g);
+    ++r.evaluated;
+    if (f > r.best_fitness || r.evaluated == 1) {
+      r.best_fitness = f;
+      r.best_genome = g;
+    }
+    if (target_fitness && f >= *target_fitness) {
+      r.first_max_at = g;
+      r.reached_target = true;
+      break;
+    }
+  }
+  return r;
+}
+
+ScanResult random_search(std::size_t genome_bits, std::uint64_t max_draws,
+                         const FitnessU64Fn& fitness, unsigned target_fitness,
+                         util::RandomSource& rng) {
+  if (genome_bits == 0 || genome_bits > 64) {
+    throw std::invalid_argument("random_search: genome_bits in [1, 64]");
+  }
+  const std::uint64_t mask = genome_bits >= 64
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << genome_bits) - 1;
+  ScanResult r;
+  for (std::uint64_t i = 0; i < max_draws; ++i) {
+    const std::uint64_t g = rng.next_u64() & mask;
+    const unsigned f = fitness(g);
+    ++r.evaluated;
+    if (f > r.best_fitness || r.evaluated == 1) {
+      r.best_fitness = f;
+      r.best_genome = g;
+    }
+    if (f >= target_fitness) {
+      r.first_max_at = i;
+      r.reached_target = true;
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace leo::ga

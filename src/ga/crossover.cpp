@@ -1,0 +1,64 @@
+#include "ga/crossover.hpp"
+
+#include <stdexcept>
+
+namespace leo::ga {
+
+namespace {
+void check_widths(const util::BitVec& a, const util::BitVec& b) {
+  if (a.width() != b.width() || a.width() < 2) {
+    throw std::invalid_argument("crossover: genomes must share width >= 2");
+  }
+}
+
+/// child = lo-part of `head` + tail of `tail` from bit c upward.
+util::BitVec splice(const util::BitVec& head, const util::BitVec& tail,
+                    std::size_t c) {
+  util::BitVec out = head;
+  for (std::size_t i = c; i < out.width(); ++i) {
+    out.set(i, tail.get(i));
+  }
+  return out;
+}
+}  // namespace
+
+std::pair<util::BitVec, util::BitVec> SinglePointCrossover::apply(
+    const util::BitVec& a, const util::BitVec& b,
+    util::RandomSource& rng) const {
+  check_widths(a, b);
+  const std::size_t c = 1 + rng.next_below(a.width() - 1);
+  return {splice(a, b, c), splice(b, a, c)};
+}
+
+std::pair<util::BitVec, util::BitVec> TwoPointCrossover::apply(
+    const util::BitVec& a, const util::BitVec& b,
+    util::RandomSource& rng) const {
+  check_widths(a, b);
+  std::size_t c1 = 1 + rng.next_below(a.width() - 1);
+  std::size_t c2 = 1 + rng.next_below(a.width() - 1);
+  if (c1 > c2) std::swap(c1, c2);
+  util::BitVec ca = a;
+  util::BitVec cb = b;
+  for (std::size_t i = c1; i < c2; ++i) {
+    ca.set(i, b.get(i));
+    cb.set(i, a.get(i));
+  }
+  return {std::move(ca), std::move(cb)};
+}
+
+std::pair<util::BitVec, util::BitVec> UniformCrossover::apply(
+    const util::BitVec& a, const util::BitVec& b,
+    util::RandomSource& rng) const {
+  check_widths(a, b);
+  util::BitVec ca = a;
+  util::BitVec cb = b;
+  for (std::size_t i = 0; i < a.width(); ++i) {
+    if (rng.next_u64() & 1) {
+      ca.set(i, b.get(i));
+      cb.set(i, a.get(i));
+    }
+  }
+  return {std::move(ca), std::move(cb)};
+}
+
+}  // namespace leo::ga

@@ -1,0 +1,60 @@
+// crossover.hpp — recombination operators.
+//
+// The GAP implements single-point crossover (§3.2): cut both genomes at a
+// random position and swap the tails. Two-point and uniform variants are
+// software baselines for the operator-ablation bench.
+#pragma once
+
+#include <utility>
+
+#include "ga/individual.hpp"
+#include "util/rng.hpp"
+
+namespace leo::ga {
+
+class CrossoverOp {
+ public:
+  virtual ~CrossoverOp() = default;
+  /// Produces two children from two parents (widths must match).
+  [[nodiscard]] virtual std::pair<util::BitVec, util::BitVec> apply(
+      const util::BitVec& a, const util::BitVec& b,
+      util::RandomSource& rng) const = 0;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+/// Cut point c drawn uniformly from [1, width-1]; children are
+/// a[0..c)+b[c..) and b[0..c)+a[c..). (c = 0 or width would clone the
+/// parents, which the crossover *threshold* already accounts for.)
+class SinglePointCrossover final : public CrossoverOp {
+ public:
+  [[nodiscard]] std::pair<util::BitVec, util::BitVec> apply(
+      const util::BitVec& a, const util::BitVec& b,
+      util::RandomSource& rng) const override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "single-point";
+  }
+};
+
+/// Swaps the segment between two distinct cut points.
+class TwoPointCrossover final : public CrossoverOp {
+ public:
+  [[nodiscard]] std::pair<util::BitVec, util::BitVec> apply(
+      const util::BitVec& a, const util::BitVec& b,
+      util::RandomSource& rng) const override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "two-point";
+  }
+};
+
+/// Each bit swaps between the children with probability 1/2.
+class UniformCrossover final : public CrossoverOp {
+ public:
+  [[nodiscard]] std::pair<util::BitVec, util::BitVec> apply(
+      const util::BitVec& a, const util::BitVec& b,
+      util::RandomSource& rng) const override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "uniform";
+  }
+};
+
+}  // namespace leo::ga

@@ -1,0 +1,139 @@
+#include "ga/engine.hpp"
+
+#include <stdexcept>
+
+#include "ga/diversity.hpp"
+
+namespace leo::ga {
+
+GaEngine::GaEngine(GaParams params, FitnessFn fitness)
+    : params_(params),
+      fitness_(std::move(fitness)),
+      selection_(std::make_unique<TournamentSelection>(params.selection_threshold)),
+      crossover_(std::make_unique<SinglePointCrossover>()),
+      mutation_(std::make_unique<ExactCountMutation>(params.mutations_per_generation)) {
+  if (params_.population_size < 2 || params_.population_size % 2 != 0) {
+    throw std::invalid_argument("GaEngine: population size must be even, >= 2");
+  }
+  if (params_.genome_bits < 2) {
+    throw std::invalid_argument("GaEngine: genome must have >= 2 bits");
+  }
+  if (!fitness_) {
+    throw std::invalid_argument("GaEngine: fitness function required");
+  }
+}
+
+void GaEngine::set_selection(std::unique_ptr<SelectionOp> op) {
+  if (!op) throw std::invalid_argument("set_selection: null");
+  selection_ = std::move(op);
+}
+void GaEngine::set_crossover(std::unique_ptr<CrossoverOp> op) {
+  if (!op) throw std::invalid_argument("set_crossover: null");
+  crossover_ = std::move(op);
+}
+void GaEngine::set_mutation(std::unique_ptr<MutationOp> op) {
+  if (!op) throw std::invalid_argument("set_mutation: null");
+  mutation_ = std::move(op);
+}
+
+void GaEngine::evaluate(Population& pop) {
+  for (auto& ind : pop) {
+    ind.fitness = fitness_(ind.genome);
+    ++evaluations_;
+  }
+}
+
+Population GaEngine::make_initial_population(util::RandomSource& rng) {
+  Population pop;
+  pop.reserve(params_.population_size);
+  for (std::size_t i = 0; i < params_.population_size; ++i) {
+    pop.push_back(Individual{rng.next_bits(params_.genome_bits), 0});
+  }
+  evaluate(pop);
+  return pop;
+}
+
+void GaEngine::step_generation(Population& pop, util::RandomSource& rng) {
+  // Selection + crossover into the intermediate population (paper's
+  // pipelined pair of operators writing the second RAM).
+  Population intermediate;
+  intermediate.reserve(pop.size());
+  while (intermediate.size() < pop.size()) {
+    const std::size_t pa = selection_->select(pop, rng);
+    const std::size_t pb = selection_->select(pop, rng);
+    if (rng.next_bool_p8(params_.crossover_threshold.raw())) {
+      auto [ca, cb] = crossover_->apply(pop[pa].genome, pop[pb].genome, rng);
+      intermediate.push_back(Individual{std::move(ca), 0});
+      intermediate.push_back(Individual{std::move(cb), 0});
+    } else {
+      intermediate.push_back(Individual{pop[pa].genome, 0});
+      intermediate.push_back(Individual{pop[pb].genome, 0});
+    }
+  }
+
+  mutation_->apply(intermediate, rng);
+
+  if (params_.elitism) {
+    // Preserve the best of the outgoing generation in slot 0.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pop.size(); ++i) {
+      if (pop[i].fitness > pop[best].fitness) best = i;
+    }
+    intermediate[0] = pop[best];
+  }
+
+  pop = std::move(intermediate);
+  evaluate(pop);
+}
+
+RunResult GaEngine::run(util::RandomSource& rng, std::uint64_t max_generations,
+                        std::optional<unsigned> target_fitness,
+                        bool track_history) {
+  evaluations_ = 0;
+  Population pop = make_initial_population(rng);
+
+  RunResult result;
+  result.best = pop.front();
+
+  auto update_best_and_stats = [&](std::uint64_t gen) {
+    GenerationStats gs;
+    gs.generation = gen;
+    gs.best_fitness = 0;
+    gs.worst_fitness = pop.front().fitness;
+    double sum = 0.0;
+    for (const auto& ind : pop) {
+      gs.best_fitness = std::max(gs.best_fitness, ind.fitness);
+      gs.worst_fitness = std::min(gs.worst_fitness, ind.fitness);
+      sum += static_cast<double>(ind.fitness);
+      if (ind.fitness > result.best.fitness) result.best = ind;
+    }
+    gs.mean_fitness = sum / static_cast<double>(pop.size());
+    gs.best_ever_fitness = result.best.fitness;
+    if (track_history) {
+      gs.diversity = mean_pairwise_hamming(pop);
+      result.history.push_back(gs);
+    }
+  };
+
+  update_best_and_stats(0);
+  if (target_fitness && result.best.fitness >= *target_fitness) {
+    result.reached_target = true;
+    result.generations = 0;
+    result.evaluations = evaluations_;
+    return result;
+  }
+
+  for (std::uint64_t gen = 1; gen <= max_generations; ++gen) {
+    step_generation(pop, rng);
+    update_best_and_stats(gen);
+    result.generations = gen;
+    if (target_fitness && result.best.fitness >= *target_fitness) {
+      result.reached_target = true;
+      break;
+    }
+  }
+  result.evaluations = evaluations_;
+  return result;
+}
+
+}  // namespace leo::ga

@@ -1,0 +1,97 @@
+// engine.hpp — the generational GA loop.
+//
+// Operator order follows the paper exactly (§3.2): "From the initial
+// population the fitness operator is applied, then selection, then
+// crossover, and finally mutation." Selection+crossover write into an
+// intermediate population (the GAP's second RAM); mutation runs over the
+// intermediate population, which then becomes the next basis population.
+//
+// The engine is width-agnostic; GaParams carries the paper's defaults.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ga/crossover.hpp"
+#include "ga/individual.hpp"
+#include "ga/mutation.hpp"
+#include "ga/selection.hpp"
+#include "util/fixed.hpp"
+#include "util/rng.hpp"
+
+namespace leo::ga {
+
+/// Parameters of §3.3 ("The different parameters used for the GAP").
+struct GaParams {
+  std::size_t population_size = 32;
+  std::size_t genome_bits = 36;
+  util::Prob8 selection_threshold = util::Prob8::from_double(0.8);
+  util::Prob8 crossover_threshold = util::Prob8::from_double(0.7);
+  unsigned mutations_per_generation = 15;
+  /// If true, the best individual of each generation is copied unchanged
+  /// into the next (not in the paper's GAP; used in ablations).
+  bool elitism = false;
+};
+
+/// Per-generation progress snapshot.
+struct GenerationStats {
+  std::uint64_t generation = 0;
+  unsigned best_fitness = 0;
+  unsigned worst_fitness = 0;
+  double mean_fitness = 0.0;
+  unsigned best_ever_fitness = 0;
+  /// Population diversity (mean pairwise Hamming distance); recorded only
+  /// when history tracking is on.
+  double diversity = 0.0;
+};
+
+/// Outcome of a run.
+struct RunResult {
+  bool reached_target = false;
+  std::uint64_t generations = 0;   ///< generations executed
+  std::uint64_t evaluations = 0;   ///< fitness evaluations performed
+  Individual best;                 ///< best individual ever seen
+  std::vector<GenerationStats> history;  ///< filled if params.track_history
+};
+
+class GaEngine {
+ public:
+  /// Operators default to the paper's: tournament(selection_threshold),
+  /// single-point crossover, exact-count mutation.
+  GaEngine(GaParams params, FitnessFn fitness);
+
+  /// Operator injection for ablation studies (non-null).
+  void set_selection(std::unique_ptr<SelectionOp> op);
+  void set_crossover(std::unique_ptr<CrossoverOp> op);
+  void set_mutation(std::unique_ptr<MutationOp> op);
+
+  /// Runs until `target_fitness` is reached (if set) or `max_generations`
+  /// elapse. `track_history` stores one GenerationStats per generation.
+  RunResult run(util::RandomSource& rng, std::uint64_t max_generations,
+                std::optional<unsigned> target_fitness,
+                bool track_history = false);
+
+  /// One generation on an explicit population (exposed for testing and
+  /// for lock-step comparison against the hardware GAP).
+  void step_generation(Population& pop, util::RandomSource& rng);
+
+  /// Random initial population, evaluated.
+  Population make_initial_population(util::RandomSource& rng);
+
+  [[nodiscard]] const GaParams& params() const noexcept { return params_; }
+
+ private:
+  void evaluate(Population& pop);
+
+  GaParams params_;
+  FitnessFn fitness_;
+  std::unique_ptr<SelectionOp> selection_;
+  std::unique_ptr<CrossoverOp> crossover_;
+  std::unique_ptr<MutationOp> mutation_;
+  std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace leo::ga

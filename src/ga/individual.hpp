@@ -1,0 +1,27 @@
+// individual.hpp — GA population types.
+//
+// The GA layer is genome-width agnostic (the paper's future work targets
+// "bigger genomes"): genomes are BitVecs and fitness is any function
+// returning an unsigned score, higher = better. The gait problem plugs in
+// 36-bit genomes scored by fitness::score().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace leo::ga {
+
+struct Individual {
+  util::BitVec genome;
+  unsigned fitness = 0;
+};
+
+using Population = std::vector<Individual>;
+
+/// Fitness evaluator; must be pure (the engine caches scores).
+using FitnessFn = std::function<unsigned(const util::BitVec&)>;
+
+}  // namespace leo::ga

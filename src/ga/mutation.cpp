@@ -1,0 +1,25 @@
+#include "ga/mutation.hpp"
+
+namespace leo::ga {
+
+void ExactCountMutation::apply(Population& pop, util::RandomSource& rng) const {
+  if (pop.empty()) return;
+  const std::size_t genome_bits = pop.front().genome.width();
+  const std::size_t total_bits = pop.size() * genome_bits;
+  for (unsigned i = 0; i < count_; ++i) {
+    const std::uint64_t pos = rng.next_below(total_bits);
+    pop[pos / genome_bits].genome.flip(pos % genome_bits);
+  }
+}
+
+void PerBitMutation::apply(Population& pop, util::RandomSource& rng) const {
+  for (auto& ind : pop) {
+    for (std::size_t bit = 0; bit < ind.genome.width(); ++bit) {
+      if (rng.next_bool_p8(rate_.raw())) {
+        ind.genome.flip(bit);
+      }
+    }
+  }
+}
+
+}  // namespace leo::ga

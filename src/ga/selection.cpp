@@ -1,0 +1,56 @@
+#include "ga/selection.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace leo::ga {
+
+std::size_t TournamentSelection::select(const Population& pop,
+                                        util::RandomSource& rng) const {
+  if (pop.empty()) throw std::invalid_argument("select: empty population");
+  const std::size_t a = rng.next_below(pop.size());
+  const std::size_t b = rng.next_below(pop.size());
+  const bool a_better = pop[a].fitness >= pop[b].fitness;
+  const std::size_t better = a_better ? a : b;
+  const std::size_t worse = a_better ? b : a;
+  return rng.next_bool_p8(win_probability_.raw()) ? better : worse;
+}
+
+std::size_t RouletteSelection::select(const Population& pop,
+                                      util::RandomSource& rng) const {
+  if (pop.empty()) throw std::invalid_argument("select: empty population");
+  std::uint64_t total = 0;
+  for (const auto& ind : pop) total += ind.fitness;
+  if (total == 0) return rng.next_below(pop.size());
+  std::uint64_t ticket = rng.next_below(total);
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    if (ticket < pop[i].fitness) return i;
+    ticket -= pop[i].fitness;
+  }
+  return pop.size() - 1;  // unreachable; guards rounding
+}
+
+TruncationSelection::TruncationSelection(double fraction) : fraction_(fraction) {
+  if (!(fraction > 0.0) || fraction > 1.0) {
+    throw std::invalid_argument("TruncationSelection: fraction in (0, 1]");
+  }
+}
+
+std::size_t TruncationSelection::select(const Population& pop,
+                                        util::RandomSource& rng) const {
+  if (pop.empty()) throw std::invalid_argument("select: empty population");
+  const auto keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction_ * static_cast<double>(pop.size())));
+  // Rank indices by fitness (descending) and draw uniformly from the top.
+  std::vector<std::size_t> order(pop.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(keep) - 1,
+                   order.end(), [&](std::size_t x, std::size_t y) {
+                     return pop[x].fitness > pop[y].fitness;
+                   });
+  return order[rng.next_below(keep)];
+}
+
+}  // namespace leo::ga

@@ -1,0 +1,73 @@
+// selection.hpp — parent-selection operators.
+//
+// The GAP uses tournament selection "because it does not use real numbers
+// and divisions which are difficult to implement in logic systems" (§3.2):
+// draw two individuals uniformly; with probability `threshold` keep the
+// fitter one, else the weaker. Alternatives (roulette, truncation) are
+// provided as software baselines for the ablation benches.
+#pragma once
+
+#include <cstddef>
+
+#include "ga/individual.hpp"
+#include "util/fixed.hpp"
+#include "util/rng.hpp"
+
+namespace leo::ga {
+
+class SelectionOp {
+ public:
+  virtual ~SelectionOp() = default;
+  /// Returns the index of the selected parent.
+  [[nodiscard]] virtual std::size_t select(const Population& pop,
+                                           util::RandomSource& rng) const = 0;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+/// Binary tournament with a win probability, hardware-faithful: the
+/// probability is an 8-bit threshold compared against a random byte, so
+/// the paper's 0.8 quantizes to 205/256.
+class TournamentSelection final : public SelectionOp {
+ public:
+  explicit TournamentSelection(util::Prob8 win_probability)
+      : win_probability_(win_probability) {}
+
+  [[nodiscard]] std::size_t select(const Population& pop,
+                                   util::RandomSource& rng) const override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "tournament";
+  }
+  [[nodiscard]] util::Prob8 win_probability() const noexcept {
+    return win_probability_;
+  }
+
+ private:
+  util::Prob8 win_probability_;
+};
+
+/// Fitness-proportionate (roulette-wheel) selection. Needs the arithmetic
+/// the paper avoided in hardware; included as a software baseline.
+class RouletteSelection final : public SelectionOp {
+ public:
+  [[nodiscard]] std::size_t select(const Population& pop,
+                                   util::RandomSource& rng) const override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "roulette";
+  }
+};
+
+/// Uniform choice among the best `fraction` of the population.
+class TruncationSelection final : public SelectionOp {
+ public:
+  explicit TruncationSelection(double fraction);
+  [[nodiscard]] std::size_t select(const Population& pop,
+                                   util::RandomSource& rng) const override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "truncation";
+  }
+
+ private:
+  double fraction_;
+};
+
+}  // namespace leo::ga

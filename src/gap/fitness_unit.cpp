@@ -1,0 +1,40 @@
+#include "gap/fitness_unit.hpp"
+
+#include <stdexcept>
+
+#include "fpga/fitness_netlist.hpp"
+#include "fpga/techmap.hpp"
+#include "genome/gait_genome.hpp"
+
+namespace leo::gap {
+
+CombinationalFitness make_gait_fitness(const fitness::FitnessSpec& spec) {
+  CombinationalFitness f;
+  f.fn = [spec](std::uint64_t g) { return fitness::score(g, spec); };
+  f.lut4 = fpga::map_to_lut4(fpga::build_fitness_netlist(spec)).lut4;
+  f.genome_bits = static_cast<unsigned>(genome::kGenomeBits);
+  return f;
+}
+
+FitnessUnit::FitnessUnit(rtl::Module* parent, std::string name,
+                         CombinationalFitness fitness)
+    : rtl::Module(parent, std::move(name)),
+      genome(this, "genome", fitness.genome_bits),
+      score(this, "score", 8),
+      fitness_(std::move(fitness)) {
+  if (!fitness_.fn) {
+    throw std::invalid_argument("FitnessUnit: fitness function required");
+  }
+}
+
+void FitnessUnit::evaluate() {
+  score.write(static_cast<std::uint8_t>(fitness_.fn(genome.read()) & 0xFF));
+}
+
+rtl::ResourceTally FitnessUnit::own_resources() const {
+  rtl::ResourceTally t = Module::own_resources();
+  t.lut4 += fitness_.lut4;
+  return t;
+}
+
+}  // namespace leo::gap

@@ -1,0 +1,286 @@
+#include "gap/gap_top.hpp"
+
+#include <stdexcept>
+
+namespace leo::gap {
+
+namespace {
+constexpr std::uint8_t to_u8(GapTop::Phase p) {
+  return static_cast<std::uint8_t>(p);
+}
+}  // namespace
+
+GapTop::GapTop(rtl::Module* parent, std::string name, GapParams params,
+               std::uint64_t rng_seed, const fitness::FitnessSpec& spec)
+    : GapTop(parent, std::move(name), params, rng_seed,
+             make_gait_fitness(spec)) {}
+
+GapTop::GapTop(rtl::Module* parent, std::string name, GapParams params,
+               std::uint64_t rng_seed, CombinationalFitness fitness)
+    : rtl::Module(parent, std::move(name)),
+      busy(this, "busy", 1),
+      done(this, "done", 1),
+      best_genome_bus(this, "best_genome_bus", params.genome_bits),
+      best_fitness_bus(this, "best_fitness_bus", 8),
+      params_(params),
+      rng_(this, "random_generator", rng_seed),
+      ram_a_(this, "population_a", params.population_size, params.genome_bits),
+      ram_b_(this, "population_b", params.population_size, params.genome_bits),
+      fitness_ram_(this, "fitness_ram", params.population_size, 8),
+      fitness_unit_(this, "fitness_module", std::move(fitness)),
+      fifo_(this, "individual_pipeline",
+            static_cast<unsigned>(2 * params.addr_bits())),
+      basis_rdata_mux_(this, "basis_rdata_mux", params.genome_bits),
+      selection_(this, "selection", params, rng_.word, fitness_ram_.rdata,
+                 fifo_),
+      crossover_(this, "crossover", params, rng_.word, basis_rdata_mux_,
+                 fifo_),
+      phase_(this, "phase", 3),
+      bank_(this, "bank", 1),
+      idx_(this, "idx", 8),
+      sub_(this, "sub", 2),
+      init_acc_(this, "init_acc", 48),
+      start_pulse_(this, "start_pulse", 1),
+      mut_count_(this, "mut_count", 8),
+      mut_addr_(this, "mut_addr", params.addr_bits()),
+      mut_bit_(this, "mut_bit", 6),
+      generation_(this, "generation", 32),
+      best_genome_(this, "best_genome", params.genome_bits),
+      best_fitness_(this, "best_fitness", 8),
+      eval_cycles_(this, "eval_cycles", 48),
+      selxover_cycles_(this, "selxover_cycles", 48),
+      mutate_cycles_(this, "mutate_cycles", 48) {
+  if (params_.population_size < 4 || params_.population_size % 2 != 0) {
+    throw std::invalid_argument("GapTop: population must be even, >= 4");
+  }
+  if (params_.genome_bits < 2 || params_.genome_bits > 48) {
+    throw std::invalid_argument("GapTop: genome bits in [2, 48]");
+  }
+  if (params_.mutations_per_generation > 255) {
+    throw std::invalid_argument("GapTop: too many mutations per generation");
+  }
+  if (fitness_unit_.fitness().genome_bits != params_.genome_bits) {
+    throw std::invalid_argument(
+        "GapTop: fitness block genome width disagrees with params");
+  }
+}
+
+void GapTop::drive_ram_defaults() {
+  for (rtl::SyncRam* ram : {&ram_a_, &ram_b_, &fitness_ram_}) {
+    ram->addr.write(0);
+    ram->we.write(false);
+    ram->wdata.write(0);
+  }
+}
+
+unsigned GapTop::fold_mod(unsigned value, unsigned mod) const noexcept {
+  while (value >= mod) value -= mod;
+  return value;
+}
+
+void GapTop::evaluate() {
+  const auto phase = static_cast<Phase>(phase_.read());
+  busy.write(phase != Phase::kDone);
+  done.write(phase == Phase::kDone);
+  best_genome_bus.write(best_genome_.read());
+  best_fitness_bus.write(best_fitness_.read());
+
+  drive_ram_defaults();
+  rtl::SyncRam& basis_ram = basis();
+  rtl::SyncRam& inter_ram = intermediate();
+  basis_rdata_mux_.write(basis_ram.rdata.read());
+
+  // Engine control defaults; overridden in the SEL+XOVER phase.
+  selection_.start.write(false);
+  selection_.enable.write(false);
+  crossover_.start.write(false);
+  crossover_.enable.write(false);
+  fitness_unit_.genome.write(0);
+
+  const std::uint64_t genome_mask =
+      (std::uint64_t{1} << params_.genome_bits) - 1;
+
+  switch (phase) {
+    case Phase::kInit:
+      basis_ram.addr.write(idx_.read());
+      if (sub_.read() == 3) {
+        basis_ram.we.write(true);
+        basis_ram.wdata.write(init_acc_.read() & genome_mask);
+      }
+      break;
+
+    case Phase::kEval:
+      basis_ram.addr.write(idx_.read());
+      if (sub_.read() == 1) {
+        // basis rdata now holds individual idx; score it and store.
+        fitness_unit_.genome.write(basis_ram.rdata.read());
+        fitness_ram_.addr.write(idx_.read());
+        fitness_ram_.we.write(true);
+        fitness_ram_.wdata.write(fitness_unit_.score.read());
+      }
+      break;
+
+    case Phase::kSelXover: {
+      selection_.start.write(start_pulse_.read());
+      crossover_.start.write(start_pulse_.read());
+      if (params_.pipelined) {
+        selection_.enable.write(true);
+        crossover_.enable.write(true);
+      } else {
+        // Strict alternation: selection may only work while the crossover
+        // engine is idle and nothing is queued; crossover drains first.
+        const bool xover_active =
+            crossover_.busy.read() || !fifo_.empty.read();
+        selection_.enable.write(!xover_active);
+        crossover_.enable.write(true);
+      }
+      fitness_ram_.addr.write(selection_.fitness_addr.read());
+      basis_ram.addr.write(crossover_.basis_addr.read());
+      inter_ram.addr.write(crossover_.inter_addr.read());
+      inter_ram.we.write(crossover_.inter_we.read());
+      inter_ram.wdata.write(crossover_.inter_wdata.read());
+      break;
+    }
+
+    case Phase::kMutate:
+      if (sub_.read() == 1) {
+        inter_ram.addr.write(mut_addr_.read());
+      } else if (sub_.read() == 2) {
+        inter_ram.addr.write(mut_addr_.read());
+        inter_ram.we.write(true);
+        inter_ram.wdata.write(inter_ram.rdata.read() ^
+                              (std::uint64_t{1} << mut_bit_.read()));
+      }
+      break;
+
+    case Phase::kSwap:
+    case Phase::kDone:
+      break;
+  }
+}
+
+void GapTop::clock_edge() {
+  const auto phase = static_cast<Phase>(phase_.read());
+  start_pulse_.set_next(false);
+
+  switch (phase) {
+    case Phase::kInit: {
+      const unsigned sub = sub_.read();
+      if (sub < 3) {
+        init_acc_.set_next((init_acc_.read() << 16) | rng_.word.read());
+        sub_.set_next(static_cast<std::uint8_t>(sub + 1));
+      } else {
+        // The write asserted in evaluate() commits at this edge.
+        init_acc_.set_next(0);
+        sub_.set_next(0);
+        const unsigned next_idx = idx_.read() + 1u;
+        if (next_idx >= params_.population_size) {
+          idx_.set_next(0);
+          phase_.set_next(to_u8(Phase::kEval));
+        } else {
+          idx_.set_next(static_cast<std::uint8_t>(next_idx));
+        }
+      }
+      break;
+    }
+
+    case Phase::kEval: {
+      eval_cycles_.set_next(eval_cycles_.read() + 1);
+      if (sub_.read() == 0) {
+        sub_.set_next(1);  // address presented; data arrives next cycle
+        break;
+      }
+      sub_.set_next(0);
+      const auto score = static_cast<std::uint8_t>(fitness_unit_.score.read());
+      std::uint8_t best = best_fitness_.read();
+      if (score > best) {
+        best = score;
+        best_fitness_.set_next(score);
+        best_genome_.set_next(basis_rdata_mux_.read());
+      }
+      const unsigned next_idx = idx_.read() + 1u;
+      if (next_idx >= params_.population_size) {
+        idx_.set_next(0);
+        if (best >= params_.target_fitness) {
+          phase_.set_next(to_u8(Phase::kDone));
+        } else {
+          phase_.set_next(to_u8(Phase::kSelXover));
+          start_pulse_.set_next(true);
+        }
+      } else {
+        idx_.set_next(static_cast<std::uint8_t>(next_idx));
+      }
+      break;
+    }
+
+    case Phase::kSelXover:
+      selxover_cycles_.set_next(selxover_cycles_.read() + 1);
+      if (!start_pulse_.read() && selection_.done.read() &&
+          crossover_.done.read()) {
+        mut_count_.set_next(0);
+        sub_.set_next(0);
+        phase_.set_next(params_.mutations_per_generation > 0
+                            ? to_u8(Phase::kMutate)
+                            : to_u8(Phase::kSwap));
+      }
+      break;
+
+    case Phase::kMutate: {
+      mutate_cycles_.set_next(mutate_cycles_.read() + 1);
+      const unsigned sub = sub_.read();
+      if (sub == 0) {
+        const std::uint16_t rand = rng_.word.read();
+        const unsigned addr_bits = params_.addr_bits();
+        mut_addr_.set_next(
+            static_cast<std::uint8_t>(rand & ((1u << addr_bits) - 1)));
+        mut_bit_.set_next(static_cast<std::uint8_t>(
+            fold_mod((rand >> addr_bits) & 0x3F, params_.genome_bits)));
+        sub_.set_next(1);
+      } else if (sub == 1) {
+        sub_.set_next(2);  // intermediate RAM is capturing the word
+      } else {
+        sub_.set_next(0);
+        const auto next_count =
+            static_cast<std::uint8_t>(mut_count_.read() + 1);
+        mut_count_.set_next(next_count);
+        if (next_count >= params_.mutations_per_generation) {
+          phase_.set_next(to_u8(Phase::kSwap));
+        }
+      }
+      break;
+    }
+
+    case Phase::kSwap:
+      bank_.set_next(!bank_.read());
+      generation_.set_next(generation_.read() + 1);
+      idx_.set_next(0);
+      sub_.set_next(0);
+      phase_.set_next(to_u8(Phase::kEval));
+      break;
+
+    case Phase::kDone:
+      break;
+  }
+}
+
+std::uint64_t GapTop::peek_basis(std::size_t index) const {
+  return basis().peek(index);
+}
+
+std::uint64_t GapTop::peek_fitness_ram(std::size_t index) const {
+  return fitness_ram_.peek(index);
+}
+
+rtl::ResourceTally GapTop::own_resources() const {
+  rtl::ResourceTally t = Module::own_resources();
+  // Port muxes (three RAMs x addr/wdata/we) and phase decoding.
+  t.lut4 += 3 * (params_.addr_bits() + params_.genome_bits / 2) + 16;
+  // The three per-phase cycle counters are simulation instrumentation
+  // (the 1999 hardware had no performance counters); exclude their FFs
+  // from the fabric estimate.
+  t.ff -= eval_cycles_.width() + selxover_cycles_.width() +
+          mutate_cycles_.width();
+  return t;
+}
+
+}  // namespace leo::gap

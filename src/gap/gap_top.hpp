@@ -1,0 +1,142 @@
+// gap_top.hpp — the complete Genetic Algorithm Processor (paper Fig. 5).
+//
+//   Initiator -> | Basis Population | -> Selection \  (pipeline)
+//                |  Intermediate    | <- Crossover /
+//                                      -> Mutation -> (bank swap)
+//   Random Generator (free-running CA)    Fitness -> Best Individual
+//
+// One FPGA generation:
+//   EVAL      read each individual from the basis RAM, score it with the
+//             combinational fitness unit, store the score in the fitness
+//             RAM, track the best-ever individual (2 cycles/individual);
+//   SEL+XOVER the two engines exchange parent pairs through the FIFO —
+//             concurrently when `pipelined` (the paper's ~2x), strictly
+//             alternating otherwise;
+//   MUTATE    15 read-modify-write single-bit flips on the intermediate
+//             RAM (3 cycles each);
+//   SWAP      the intermediate RAM becomes the next basis (bank bit).
+//
+// Evolution stops when the best-ever fitness reaches `target_fitness`;
+// the 36-bit best-individual register is the "Individual" bus that
+// configures the walking controller (paper Fig. 3).
+#pragma once
+
+#include <cstdint>
+
+#include "gap/ca_rng_module.hpp"
+#include "gap/crossover_engine.hpp"
+#include "gap/fitness_unit.hpp"
+#include "gap/gap_params.hpp"
+#include "gap/pair_fifo.hpp"
+#include "gap/selection_engine.hpp"
+#include "rtl/ram.hpp"
+
+namespace leo::gap {
+
+class GapTop final : public rtl::Module {
+ public:
+  /// `fitness` is the pluggable combinational fitness block (paper Fig. 3
+  /// "Fitness Module"); its genome width must match params.genome_bits.
+  GapTop(rtl::Module* parent, std::string name, GapParams params,
+         std::uint64_t rng_seed,
+         CombinationalFitness fitness = make_gait_fitness());
+
+  /// Convenience: gait fitness with an ablated/extended rule spec.
+  GapTop(rtl::Module* parent, std::string name, GapParams params,
+         std::uint64_t rng_seed, const fitness::FitnessSpec& spec);
+
+  // --- status wires ---
+  rtl::Wire<bool> busy;
+  rtl::Wire<bool> done;
+  /// The Best Individual register (Fig. 5) on a bus for the controller.
+  rtl::Wire<std::uint64_t> best_genome_bus;
+  rtl::Wire<std::uint8_t> best_fitness_bus;
+
+  void evaluate() override;
+  void clock_edge() override;
+
+  // --- observability for experiments and tests ---
+  enum class Phase : std::uint8_t {
+    kInit = 0,
+    kEval,
+    kSelXover,
+    kMutate,
+    kSwap,
+    kDone,
+  };
+  [[nodiscard]] Phase phase() const noexcept {
+    return static_cast<Phase>(phase_.read());
+  }
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_.read();
+  }
+  [[nodiscard]] std::uint64_t best_genome() const noexcept {
+    return best_genome_.read();
+  }
+  [[nodiscard]] unsigned best_fitness() const noexcept {
+    return best_fitness_.read();
+  }
+  [[nodiscard]] std::uint64_t cycles_in_selxover() const noexcept {
+    return selxover_cycles_.read();
+  }
+  [[nodiscard]] std::uint64_t cycles_in_eval() const noexcept {
+    return eval_cycles_.read();
+  }
+  [[nodiscard]] std::uint64_t cycles_in_mutate() const noexcept {
+    return mutate_cycles_.read();
+  }
+  [[nodiscard]] const GapParams& params() const noexcept { return params_; }
+
+  /// Testbench backdoor into the populations (configuration readback).
+  [[nodiscard]] std::uint64_t peek_basis(std::size_t index) const;
+  [[nodiscard]] std::uint64_t peek_fitness_ram(std::size_t index) const;
+
+  /// Control/mux overhead on top of the children's own tallies.
+  [[nodiscard]] rtl::ResourceTally own_resources() const override;
+
+ private:
+  [[nodiscard]] rtl::SyncRam& basis() noexcept {
+    return bank_.read() ? ram_b_ : ram_a_;
+  }
+  [[nodiscard]] rtl::SyncRam& intermediate() noexcept {
+    return bank_.read() ? ram_a_ : ram_b_;
+  }
+  [[nodiscard]] const rtl::SyncRam& basis() const noexcept {
+    return bank_.read() ? ram_b_ : ram_a_;
+  }
+  void drive_ram_defaults();
+  [[nodiscard]] unsigned fold_mod(unsigned value, unsigned mod) const noexcept;
+
+  GapParams params_;
+
+  // Submodules (construction order matters: engines bind to nets below).
+  CaRngModule rng_;
+  rtl::SyncRam ram_a_;
+  rtl::SyncRam ram_b_;
+  rtl::SyncRam fitness_ram_;
+  FitnessUnit fitness_unit_;
+  PairFifo fifo_;
+  /// Active-basis read data, muxed from the current bank for the engines.
+  rtl::Wire<std::uint64_t> basis_rdata_mux_;
+  SelectionEngine selection_;
+  CrossoverEngine crossover_;
+
+  // Control state.
+  rtl::Reg<std::uint8_t> phase_;
+  rtl::Reg<bool> bank_;
+  rtl::Reg<std::uint8_t> idx_;
+  rtl::Reg<std::uint8_t> sub_;
+  rtl::Reg<std::uint64_t> init_acc_;
+  rtl::Reg<bool> start_pulse_;
+  rtl::Reg<std::uint8_t> mut_count_;
+  rtl::Reg<std::uint8_t> mut_addr_;
+  rtl::Reg<std::uint8_t> mut_bit_;
+  rtl::Reg<std::uint64_t> generation_;
+  rtl::Reg<std::uint64_t> best_genome_;
+  rtl::Reg<std::uint8_t> best_fitness_;
+  rtl::Reg<std::uint64_t> eval_cycles_;
+  rtl::Reg<std::uint64_t> selxover_cycles_;
+  rtl::Reg<std::uint64_t> mutate_cycles_;
+};
+
+}  // namespace leo::gap

@@ -1,0 +1,56 @@
+#include "gap/pair_fifo.hpp"
+
+#include <stdexcept>
+
+namespace leo::gap {
+
+PairFifo::PairFifo(rtl::Module* parent, std::string name, unsigned pair_bits)
+    : rtl::Module(parent, std::move(name)),
+      in_pair(this, "in_pair", pair_bits),
+      push(this, "push", 1),
+      full(this, "full", 1),
+      out_pair(this, "out_pair", pair_bits),
+      empty(this, "empty", 1),
+      pop(this, "pop", 1),
+      slot0_(this, "slot0", pair_bits),
+      slot1_(this, "slot1", pair_bits),
+      count_(this, "count", 2) {}
+
+void PairFifo::evaluate() {
+  full.write(count_.read() >= kDepth);
+  empty.write(count_.read() == 0);
+  out_pair.write(slot0_.read());
+}
+
+void PairFifo::clock_edge() {
+  const unsigned count = count_.read();
+  const bool do_push = push.read() && count < kDepth;
+  const bool do_pop = pop.read() && count > 0;
+
+  if (do_pop) {
+    if (do_push) {
+      // Simultaneous push+pop keeps the count: with one entry the input
+      // becomes the new head directly; with two the head shifts up and
+      // the input refills the tail.
+      if (count == 1) {
+        slot0_.set_next(in_pair.read());
+      } else {
+        slot0_.set_next(slot1_.read());
+        slot1_.set_next(in_pair.read());
+      }
+      count_.set_next(static_cast<std::uint8_t>(count));
+    } else {
+      slot0_.set_next(slot1_.read());
+      count_.set_next(static_cast<std::uint8_t>(count - 1));
+    }
+  } else if (do_push) {
+    if (count == 0) {
+      slot0_.set_next(in_pair.read());
+    } else {
+      slot1_.set_next(in_pair.read());
+    }
+    count_.set_next(static_cast<std::uint8_t>(count + 1));
+  }
+}
+
+}  // namespace leo::gap

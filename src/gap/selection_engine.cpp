@@ -1,0 +1,155 @@
+#include "gap/selection_engine.hpp"
+
+#include <stdexcept>
+
+namespace leo::gap {
+
+SelectionEngine::SelectionEngine(rtl::Module* parent, std::string name,
+                                 const GapParams& params,
+                                 const rtl::Wire<std::uint16_t>& rand_word,
+                                 const rtl::Reg<std::uint64_t>& fitness_rdata,
+                                 PairFifo& fifo)
+    : rtl::Module(parent, std::move(name)),
+      start(this, "start", 1),
+      enable(this, "enable", 1),
+      busy(this, "busy", 1),
+      done(this, "done", 1),
+      fitness_addr(this, "fitness_addr", params.addr_bits()),
+      params_(params),
+      rand_word_(&rand_word),
+      fitness_rdata_(&fitness_rdata),
+      fifo_(&fifo),
+      state_(this, "state", 3),
+      cand_a_(this, "cand_a", params.addr_bits()),
+      cand_b_(this, "cand_b", params.addr_bits()),
+      fit_a_(this, "fit_a", 8),
+      winner_a_(this, "winner_a", params.addr_bits()),
+      second_tournament_(this, "second_tournament", 1),
+      pairs_done_(this, "pairs_done", 8) {
+  // Both candidate indices are sliced from one 16-bit CA word.
+  if (2 * params.addr_bits() > 16) {
+    throw std::invalid_argument(
+        "SelectionEngine: population too large for the 16-bit random word");
+  }
+}
+
+std::uint32_t SelectionEngine::cand_field(unsigned slot) const noexcept {
+  const unsigned bits = params_.addr_bits();
+  const std::uint32_t mask = (1u << bits) - 1;
+  return (static_cast<std::uint32_t>(rand_word_->read()) >> (slot * bits)) &
+         mask;
+}
+
+void SelectionEngine::evaluate() {
+  const auto state = static_cast<State>(state_.read());
+  busy.write(state != State::kIdle && state != State::kDone);
+  done.write(state == State::kDone);
+
+  // Address requests are driven from registered candidates so the fitness
+  // RAM sees a stable address for the whole cycle.
+  switch (state) {
+    case State::kReadA:
+      fitness_addr.write(cand_a_.read());
+      break;
+    case State::kReadB:
+      fitness_addr.write(cand_b_.read());
+      break;
+    default:
+      fitness_addr.write(0);
+      break;
+  }
+
+  // FIFO push request: combinational so the FIFO can accept in the same
+  // cycle the pair is complete (winner_b is decided at the kPush edge, so
+  // the pair is assembled from winner_a and the kDecide comparison result
+  // held in registers — see clock_edge, which moves to kPush only after
+  // both winners are registered).
+  const bool pushing = state == State::kPush && enable.read();
+  fifo_->push.write(pushing);
+  if (pushing) {
+    fifo_->in_pair.write(static_cast<std::uint16_t>(
+        winner_a_.read() |
+        (static_cast<std::uint16_t>(cand_a_.read()) << params_.addr_bits())));
+  } else {
+    fifo_->in_pair.write(0);
+  }
+}
+
+void SelectionEngine::clock_edge() {
+  const auto state = static_cast<State>(state_.read());
+  if (!enable.read() && state != State::kIdle && state != State::kDone) {
+    return;  // sequential mode: hold mid-work states while gated off
+  }
+
+  switch (state) {
+    case State::kIdle:
+    case State::kDone:
+      if (start.read()) {
+        pairs_done_.set_next(0);
+        second_tournament_.set_next(false);
+        state_.set_next(static_cast<std::uint8_t>(State::kCandidates));
+      }
+      break;
+
+    case State::kCandidates:
+      cand_a_.set_next(static_cast<std::uint8_t>(cand_field(0)));
+      cand_b_.set_next(static_cast<std::uint8_t>(cand_field(1)));
+      state_.set_next(static_cast<std::uint8_t>(State::kReadA));
+      break;
+
+    case State::kReadA:
+      // Fitness RAM is capturing mem[cand_a] at this edge.
+      state_.set_next(static_cast<std::uint8_t>(State::kReadB));
+      break;
+
+    case State::kReadB:
+      // rdata now holds fitness[cand_a]; capture it while the RAM reads B.
+      fit_a_.set_next(static_cast<std::uint8_t>(fitness_rdata_->read()));
+      state_.set_next(static_cast<std::uint8_t>(State::kDecide));
+      break;
+
+    case State::kDecide: {
+      // rdata now holds fitness[cand_b]. Fresh random byte decides whether
+      // the better individual wins (threshold = P[better wins]).
+      const auto fit_b = static_cast<std::uint8_t>(fitness_rdata_->read());
+      const bool a_better = fit_a_.read() >= fit_b;
+      const bool better_wins =
+          static_cast<std::uint8_t>(rand_word_->read() & 0xFF) <
+          params_.selection_threshold.raw();
+      const bool pick_a = a_better == better_wins;
+      const std::uint8_t winner = pick_a ? cand_a_.read() : cand_b_.read();
+      if (!second_tournament_.read()) {
+        winner_a_.set_next(winner);
+        second_tournament_.set_next(true);
+        state_.set_next(static_cast<std::uint8_t>(State::kCandidates));
+      } else {
+        // Reuse cand_a_ as the second winner's register for the push.
+        cand_a_.set_next(winner);
+        state_.set_next(static_cast<std::uint8_t>(State::kPush));
+      }
+      break;
+    }
+
+    case State::kPush:
+      if (!fifo_->full.read()) {
+        const std::uint8_t next_pairs =
+            static_cast<std::uint8_t>(pairs_done_.read() + 1);
+        pairs_done_.set_next(next_pairs);
+        second_tournament_.set_next(false);
+        if (next_pairs >= params_.population_size / 2) {
+          state_.set_next(static_cast<std::uint8_t>(State::kDone));
+        } else {
+          state_.set_next(static_cast<std::uint8_t>(State::kCandidates));
+        }
+      }
+      break;
+  }
+}
+
+rtl::ResourceTally SelectionEngine::own_resources() const {
+  rtl::ResourceTally t = Module::own_resources();
+  t.lut4 += 20;  // 8-bit comparator, threshold compare, state decoding
+  return t;
+}
+
+}  // namespace leo::gap

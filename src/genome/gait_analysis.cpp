@@ -1,0 +1,100 @@
+#include "genome/gait_analysis.hpp"
+
+#include <sstream>
+
+#include "genome/phases.hpp"
+
+namespace leo::genome {
+
+const char* to_string(GaitClass c) noexcept {
+  switch (c) {
+    case GaitClass::kStationary: return "stationary";
+    case GaitClass::kTripod: return "tripod";
+    case GaitClass::kTetrapod: return "tetrapod";
+    case GaitClass::kAsymmetric: return "asymmetric";
+    case GaitClass::kUnstable: return "unstable";
+  }
+  return "?";
+}
+
+GaitProfile analyze(const GaitGenome& genome) {
+  GaitProfile p;
+
+  for (std::size_t s = 0; s < kNumSteps; ++s) {
+    for (std::size_t leg = 0; leg < kNumLegs; ++leg) {
+      const LegGene& g = genome.gene(s, leg);
+      if (g.lift_first) {
+        ++p.swing_count[s];
+        if (is_left_leg(leg)) ++p.swing_left[s];
+      }
+    }
+  }
+
+  // A locomoting leg swings forward airborne in one step and sweeps
+  // backward planted in the other.
+  p.steps_mirrored = true;
+  unsigned ground_phases = 0;
+  const PhaseTable table(genome);
+  for (std::size_t leg = 0; leg < kNumLegs; ++leg) {
+    const LegGene& a = genome.gene(0, leg);
+    const LegGene& b = genome.gene(1, leg);
+    const auto is_swing = [](const LegGene& g) {
+      return g.lift_first && g.forward;
+    };
+    const auto is_stance = [](const LegGene& g) {
+      return !g.lift_first && !g.forward;
+    };
+    if ((is_swing(a) && is_stance(b)) || (is_stance(a) && is_swing(b))) {
+      ++p.locomoting_legs;
+    } else {
+      // Anything else either repeats a direction (shuffles in place) or
+      // pairs its height and direction incoherently (drags or hops).
+      ++p.conflicting_legs;
+    }
+    // Duty factor: phases on the ground out of the 6 micro-phases (the
+    // leg's height changes at the vertical phases and holds between).
+    for (std::size_t phase = 0; phase < kPhasesPerCycle; ++phase) {
+      if (!table.pose(phase, leg).raised) ++ground_phases;
+    }
+    // Mirror check: each leg's role inverts between steps — airborne
+    // state and sweep direction both flip (lift_last is free; it only
+    // shapes the inter-step transition).
+    if (a.lift_first == b.lift_first || a.forward == b.forward) {
+      p.steps_mirrored = false;
+    }
+  }
+  p.duty_factor = static_cast<double>(ground_phases) /
+                  static_cast<double>(kNumLegs * kPhasesPerCycle);
+
+  // Classify.
+  const unsigned max_swing = std::max(p.swing_count[0], p.swing_count[1]);
+  const bool side_lifted =
+      p.swing_left[0] == 3 || p.swing_left[1] == 3 ||
+      (p.swing_count[0] - p.swing_left[0]) == 3 ||
+      (p.swing_count[1] - p.swing_left[1]) == 3;
+  if (p.locomoting_legs == 0) {
+    p.cls = GaitClass::kStationary;
+  } else if (side_lifted || max_swing == 6) {
+    p.cls = GaitClass::kUnstable;
+  } else if (p.locomoting_legs == 6 && p.swing_count[0] == 3 &&
+             p.swing_count[1] == 3) {
+    p.cls = GaitClass::kTripod;
+  } else if (p.locomoting_legs >= 4 && max_swing <= 2) {
+    p.cls = GaitClass::kTetrapod;
+  } else {
+    p.cls = GaitClass::kAsymmetric;
+  }
+  return p;
+}
+
+std::string GaitProfile::describe() const {
+  std::ostringstream out;
+  out << to_string(cls) << ": swings " << swing_count[0] << "+"
+      << swing_count[1] << " (left " << swing_left[0] << "/" << swing_left[1]
+      << "), " << locomoting_legs << " locomoting, " << conflicting_legs
+      << " conflicting, duty " << duty_factor
+      << (steps_mirrored ? ", mirrored steps" : "");
+  return out.str();
+}
+
+}  // namespace leo::genome

@@ -1,0 +1,63 @@
+// gait_analysis.hpp — structural analysis of gait genomes.
+//
+// The gait literature describes hexapod gaits by which legs swing
+// together and how support is shared (tripod, tetrapod/ripple, wave,
+// ...). The paper's two-step encoding can express the alternating tripod
+// and its relatives but not longer-period gaits; this module classifies
+// what a genome actually encodes, computes the standard descriptors
+// (duty factor, support count, phase relationships), and explains *why*
+// a genome scores the fitness it does — used by the E4 bench and the
+// analysis examples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "genome/gait_genome.hpp"
+
+namespace leo::genome {
+
+/// Coarse family of the encoded gait.
+enum class GaitClass : std::uint8_t {
+  kStationary,   ///< no leg both swings and propels: no net locomotion
+  kTripod,       ///< two alternating tripods, each with 2+1 side split
+  kTetrapod,     ///< 2 legs swing per step (4 supporting)
+  kAsymmetric,   ///< legs locomote but swing groups are unbalanced (5/1,
+                 ///< 4/2 or side-heavy splits)
+  kUnstable,     ///< a step lifts a whole side or everything at once
+};
+
+[[nodiscard]] const char* to_string(GaitClass c) noexcept;
+
+struct GaitProfile {
+  GaitClass cls = GaitClass::kStationary;
+
+  /// Legs airborne during each step's sweep (by v_first).
+  std::array<unsigned, kNumSteps> swing_count{};
+  /// Of those, how many are on the left side.
+  std::array<unsigned, kNumSteps> swing_left{};
+
+  /// Legs that perform a full locomotion cycle: swing forward in one
+  /// step and propel (planted, backward) in the other.
+  unsigned locomoting_legs = 0;
+  /// Legs whose two steps conflict (would drag or hop).
+  unsigned conflicting_legs = 0;
+
+  /// Fraction of the cycle a leg is on the ground, averaged over legs
+  /// (the classic duty factor; 2/3 for the encoded tripod: planted in
+  /// 4 of the 6 micro-phases).
+  double duty_factor = 0.0;
+
+  /// True when every leg's role inverts between the two steps (airborne
+  /// state and sweep direction both flip) — the structure the paper's
+  /// symmetry + coherence rules push toward.
+  bool steps_mirrored = false;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Computes the profile of a genome (pure; no robot simulation).
+[[nodiscard]] GaitProfile analyze(const GaitGenome& genome);
+
+}  // namespace leo::genome

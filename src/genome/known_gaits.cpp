@@ -1,0 +1,71 @@
+#include "genome/known_gaits.hpp"
+
+namespace leo::genome {
+
+namespace {
+constexpr LegGene kSwing{true, true, false};    // up, forward, plant
+constexpr LegGene kStance{false, false, false}; // down, backward (propel), down
+
+/// Tripod A = {L-front(0), L-rear(2), R-mid(4)}; tripod B = the rest.
+constexpr bool in_tripod_a(std::size_t leg) {
+  return leg == 0 || leg == 2 || leg == 4;
+}
+}  // namespace
+
+GaitGenome tripod_gait() {
+  GaitGenome g;
+  for (std::size_t leg = 0; leg < kNumLegs; ++leg) {
+    const bool swings_first = in_tripod_a(leg);
+    g.gene(0, leg) = swings_first ? kSwing : kStance;
+    g.gene(1, leg) = swings_first ? kStance : kSwing;
+  }
+  return g;
+}
+
+GaitGenome tripod_gait_mirrored() {
+  GaitGenome g;
+  for (std::size_t leg = 0; leg < kNumLegs; ++leg) {
+    const bool swings_first = !in_tripod_a(leg);
+    g.gene(0, leg) = swings_first ? kSwing : kStance;
+    g.gene(1, leg) = swings_first ? kStance : kSwing;
+  }
+  return g;
+}
+
+GaitGenome all_zero_gait() { return GaitGenome::from_bits(0); }
+
+GaitGenome pronking_gait() {
+  GaitGenome g;
+  for (std::size_t leg = 0; leg < kNumLegs; ++leg) {
+    g.gene(0, leg) = kSwing;
+    g.gene(1, leg) = kStance;
+  }
+  return g;
+}
+
+GaitGenome one_side_lifted_gait() {
+  GaitGenome g;
+  for (std::size_t leg = 0; leg < kNumLegs; ++leg) {
+    const bool swings_first = is_left_leg(leg);
+    g.gene(0, leg) = swings_first ? kSwing : kStance;
+    g.gene(1, leg) = swings_first ? kStance : kSwing;
+  }
+  return g;
+}
+
+GaitGenome reverse_tripod_gait() {
+  // Swing backwards in the air, sweep forwards on the ground: the robot
+  // walks in reverse. Every gene has h != v0, so coherence R3 fails 12/12
+  // while R1 and R2 are satisfied — see the header for why this matters.
+  constexpr LegGene kSwingBack{true, false, false};
+  constexpr LegGene kStanceFwd{false, true, false};
+  GaitGenome g;
+  for (std::size_t leg = 0; leg < kNumLegs; ++leg) {
+    const bool swings_first = in_tripod_a(leg);
+    g.gene(0, leg) = swings_first ? kSwingBack : kStanceFwd;
+    g.gene(1, leg) = swings_first ? kStanceFwd : kSwingBack;
+  }
+  return g;
+}
+
+}  // namespace leo::genome

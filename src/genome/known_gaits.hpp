@@ -1,0 +1,45 @@
+// known_gaits.hpp — reference genomes used by tests, examples and benches.
+//
+// The paper's fitness rules are designed *without* knowledge of the
+// solution; these genomes are the ground truth we validate against: the
+// canonical alternating-tripod gait of hexapod insects must satisfy every
+// rule (maximum fitness), and the pathological genomes must be punished.
+#pragma once
+
+#include "genome/gait_genome.hpp"
+
+namespace leo::genome {
+
+/// The classic alternating tripod: legs {L-front, L-rear, R-mid} swing
+/// (up, forward, down) while {L-mid, R-front, R-rear} propel (down,
+/// backward, down); roles swap in the second step. Statically stable at
+/// all times — the stance tripod always contains the centre of mass.
+[[nodiscard]] GaitGenome tripod_gait();
+
+/// The mirror tripod (the other tripod swings first). Same fitness by
+/// symmetry.
+[[nodiscard]] GaitGenome tripod_gait_mirrored();
+
+/// All genes zero: every leg does down/backward/down in both steps.
+/// Violates the symmetry rule on every leg; the robot shuffles in place.
+[[nodiscard]] GaitGenome all_zero_gait();
+
+/// Every leg swings in step 0 and propels in step 1. Symmetric and
+/// coherent, but in step 0 all six legs are airborne — the equilibrium
+/// rule fires on both sides (the robot falls on its belly).
+[[nodiscard]] GaitGenome pronking_gait();
+
+/// One entire side swings while the other propels — the paper's own
+/// example of an equilibrium violation ("three legs raised on the same
+/// side, it will stumble and fall").
+[[nodiscard]] GaitGenome one_side_lifted_gait();
+
+/// A backward tripod: tripod timing with every horizontal direction
+/// flipped (swing backward in the air, sweep forward on the ground). The
+/// robot walks in reverse. Equilibrium and symmetry hold, but coherence
+/// R3 fails on every gene — the rules deliberately bake in *forward*
+/// locomotion ("the leg has to be up before going forward", §3.2), so
+/// this genome demonstrates that maximum fitness implies forward walking.
+[[nodiscard]] GaitGenome reverse_tripod_gait();
+
+}  // namespace leo::genome

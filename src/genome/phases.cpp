@@ -1,0 +1,44 @@
+#include "genome/phases.hpp"
+
+namespace leo::genome {
+
+PhaseTable::PhaseTable(const GaitGenome& genome, LegPose initial) {
+  std::array<LegPose, kNumLegs> current{};
+  current.fill(initial);
+  for (std::size_t phase = 0; phase < kPhasesPerCycle; ++phase) {
+    const std::size_t s = phase_step(phase);
+    for (std::size_t leg = 0; leg < kNumLegs; ++leg) {
+      const LegGene& g = genome.gene(s, leg);
+      switch (phase_kind(phase)) {
+        case PhaseKind::kVerticalFirst:
+          current[leg].raised = g.lift_first;
+          break;
+        case PhaseKind::kHorizontal:
+          current[leg].fore = g.forward;
+          break;
+        case PhaseKind::kVerticalLast:
+          current[leg].raised = g.lift_last;
+          break;
+      }
+    }
+    poses_[phase] = current;
+  }
+}
+
+unsigned PhaseTable::raised_on_side(std::size_t phase, bool left) const {
+  unsigned n = 0;
+  for (std::size_t leg = 0; leg < kNumLegs; ++leg) {
+    if (is_left_leg(leg) == left && pose(phase, leg).raised) ++n;
+  }
+  return n;
+}
+
+bool PhaseTable::is_stance_during_sweep(std::size_t step,
+                                        std::size_t leg) const {
+  // The horizontal move of `step` executes in phase step*3 + 1; the leg's
+  // height during that move was set by the preceding vertical phase.
+  const std::size_t vertical_phase = step * kPhasesPerStep;
+  return !pose(vertical_phase, leg).raised;
+}
+
+}  // namespace leo::genome

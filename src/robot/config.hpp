@@ -1,0 +1,72 @@
+// config.hpp — Leonardo's physical parameters (paper §2 and Fig. 1).
+//
+// "The robot has 13 degrees of freedom: 2 degrees of freedom (elevation
+//  and propulsion) in each of the 6 legs, and 1 degree of freedom in the
+//  body. [...] lateral motions (a third pseudo-degree of freedom) are
+//  allowed by the introduction of an elastic joint."
+//
+// Dimensions from Fig. 1: body 240 mm long x 200 mm wide; mass 1 kg.
+// Values not given by the paper (leg segment lengths, stride, clearance)
+// are stated here once with plausible magnitudes for a robot of that
+// size; every consumer reads them from this struct so substitutions are
+// explicit and sweepable.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace leo::robot {
+
+inline constexpr std::size_t kNumLegs = 6;
+
+/// Frame convention: x forward (direction of walking), y left, z up;
+/// origin at the body centre, ground plane at z = 0.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+};
+
+struct RobotConfig {
+  // --- paper-given ---
+  double body_length_m = 0.240;   ///< Fig. 1a: 240 mm
+  double body_width_m = 0.200;    ///< Fig. 1a: 200 mm
+  double mass_kg = 1.0;           ///< §1: "weighting 1 kg"
+
+  // --- stated substitutions (paper omits numeric values) ---
+  double stride_m = 0.040;        ///< propulsion sweep of a foot (fore-aft)
+  double step_height_m = 0.015;   ///< foot clearance when raised
+  double standing_height_m = 0.060;  ///< body z when all feet planted
+  double lateral_reach_m = 0.070; ///< foot y-offset outboard of the hip
+  double elastic_lateral_m = 0.008;  ///< compliance of the elastic joint
+  /// Body articulation: one revolute joint in the middle of the body
+  /// (Fig. 1a) used for turning. Limit in radians (±).
+  double articulation_limit_rad = 0.35;
+  /// Heading change per executed step at full articulation deflection.
+  double turn_gain_rad_per_step = 0.12;
+  /// Stability-margin classification. A pose whose CoM lies outside the
+  /// support polygon by less than `fall_margin_m` only *tips* until a
+  /// raised foot (step_height_m = 15 mm of clearance over a ~0.1 m lever,
+  /// i.e. ~8 deg of allowable roll) catches it — a stumble, not a fall.
+  /// Beyond it the tip outruns the catch and the robot goes down.
+  double fall_margin_m = 0.06;
+
+  /// Hip anchor (body frame) of each leg. Legs 0..2 left (y > 0) front to
+  /// rear, 3..5 right, matching genome::is_left_leg.
+  [[nodiscard]] constexpr Vec2 hip_position(std::size_t leg) const {
+    const double xf = body_length_m / 2.0 * 0.8;  // front/rear hip offset
+    const double y = body_width_m / 2.0;
+    const std::array<Vec2, kNumLegs> hips = {{
+        {xf, y},  {0.0, y},  {-xf, y},    // left: front, mid, rear
+        {xf, -y}, {0.0, -y}, {-xf, -y},  // right: front, mid, rear
+    }};
+    return hips[leg];
+  }
+};
+
+inline constexpr RobotConfig kLeonardoConfig{};
+
+}  // namespace leo::robot

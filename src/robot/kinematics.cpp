@@ -1,0 +1,54 @@
+#include "robot/kinematics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace leo::robot {
+
+Vec2 rotate(Vec2 v, double angle) noexcept {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  return {v.x * c - v.y * s, v.x * s + v.y * c};
+}
+
+FootPosition LegKinematics::foot_body_frame(std::size_t leg, double sweep,
+                                            bool raised) const {
+  if (leg >= kNumLegs) throw std::out_of_range("LegKinematics: leg index");
+  if (sweep < -1.0 || sweep > 1.0) {
+    throw std::invalid_argument("LegKinematics: sweep outside [-1, 1]");
+  }
+  const Vec2 hip = config_->hip_position(leg);
+  const double side = genome::is_left_leg(leg) ? 1.0 : -1.0;
+  FootPosition foot;
+  foot.xy.x = hip.x + sweep * config_->stride_m / 2.0;
+  foot.xy.y = hip.y + side * config_->lateral_reach_m;
+  foot.z = raised ? config_->step_height_m : 0.0;
+  return foot;
+}
+
+FootPosition LegKinematics::foot_body_frame(std::size_t leg,
+                                            const genome::LegPose& pose) const {
+  return foot_body_frame(leg, pose.fore ? 1.0 : -1.0, pose.raised);
+}
+
+FootPosition LegKinematics::foot_world_frame(std::size_t leg,
+                                             const FootPosition& body_frame,
+                                             const BodyPose& body,
+                                             double articulation_rad) const {
+  if (articulation_rad < -config_->articulation_limit_rad ||
+      articulation_rad > config_->articulation_limit_rad) {
+    throw std::invalid_argument("LegKinematics: articulation beyond limit");
+  }
+  Vec2 local = body_frame.xy;
+  // Rear legs sit on the articulated rear segment (Fig. 1a): their mount
+  // rotates by the articulation angle about the body centre joint.
+  if (leg == 2 || leg == 5) {
+    local = rotate(local, articulation_rad);
+  }
+  FootPosition world;
+  world.xy = body.position + rotate(local, body.heading);
+  world.z = body_frame.z;
+  return world;
+}
+
+}  // namespace leo::robot

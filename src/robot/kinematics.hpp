@@ -1,0 +1,61 @@
+// kinematics.hpp — leg pose -> foot position, in body and world frames.
+//
+// Each leg has two servo DoF (elevation, propulsion) plus the elastic
+// lateral joint (Fig. 1b). The gait encoding is binary (up/down,
+// fore/aft), so the kinematic layer maps discrete servo targets to
+// foot coordinates; continuous servo angles are handled by the servo
+// model (src/servo/) when the RTL controller drives the simulator.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "genome/phases.hpp"
+#include "robot/config.hpp"
+
+namespace leo::robot {
+
+/// Foot position: xy in the chosen frame, z height above ground.
+struct FootPosition {
+  Vec2 xy;
+  double z = 0.0;
+};
+
+/// World pose of the (front) body segment.
+struct BodyPose {
+  Vec2 position;        ///< body centre, world frame
+  double heading = 0.0; ///< radians, 0 = +x
+};
+
+[[nodiscard]] Vec2 rotate(Vec2 v, double angle) noexcept;
+
+class LegKinematics {
+ public:
+  explicit LegKinematics(const RobotConfig& config) : config_(&config) {}
+
+  /// Foot position in the body frame for a discrete pose. `sweep` in
+  /// [-1, 1] interpolates the propulsion servo between aft (-1) and fore
+  /// (+1); the binary genome uses ±1, the servo model passes intermediate
+  /// values while a move is in flight.
+  [[nodiscard]] FootPosition foot_body_frame(std::size_t leg, double sweep,
+                                             bool raised) const;
+
+  /// Convenience for a settled genome pose.
+  [[nodiscard]] FootPosition foot_body_frame(std::size_t leg,
+                                             const genome::LegPose& pose) const;
+
+  /// Transforms a body-frame foot into the world frame given the body pose
+  /// and the articulation angle. Rear legs (2 and 5) ride the rear body
+  /// segment, which is rotated by the articulation about the body centre.
+  [[nodiscard]] FootPosition foot_world_frame(std::size_t leg,
+                                              const FootPosition& body_frame,
+                                              const BodyPose& body,
+                                              double articulation_rad) const;
+
+  [[nodiscard]] const RobotConfig& config() const noexcept { return *config_; }
+
+ private:
+  const RobotConfig* config_;
+};
+
+}  // namespace leo::robot

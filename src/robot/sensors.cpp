@@ -1,0 +1,13 @@
+#include "robot/sensors.hpp"
+
+#include <cmath>
+
+namespace leo::robot {
+
+bool ground_contact(const Terrain& terrain, Vec2 foot_xy,
+                    double foot_z) noexcept {
+  constexpr double kContactTolerance = 1e-6;
+  return foot_z <= terrain.height_at(foot_xy) + kContactTolerance;
+}
+
+}  // namespace leo::robot

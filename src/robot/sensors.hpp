@@ -1,0 +1,30 @@
+// sensors.hpp — Leonardo's contact sensors (paper Fig. 1b).
+//
+// "The sensorial part is composed of two simple contacts that indicate
+//  whether or not a leg is touching the ground or an obstacle."
+//
+// Sensors are evaluated from simulator ground truth each settled phase;
+// the RTL walking controller reads them as input wires (the FPGA board's
+// sensor pins).
+#pragma once
+
+#include <array>
+
+#include "robot/config.hpp"
+#include "robot/terrain.hpp"
+
+namespace leo::robot {
+
+struct LegSensors {
+  bool ground_contact = false;    ///< foot carries load on the ground
+  bool obstacle_contact = false;  ///< foot bumped an obstacle this phase
+};
+
+using SensorFrame = std::array<LegSensors, kNumLegs>;
+
+/// Computes ground contact: a planted foot (z at local terrain height)
+/// touching a supporting surface.
+[[nodiscard]] bool ground_contact(const Terrain& terrain, Vec2 foot_xy,
+                                  double foot_z) noexcept;
+
+}  // namespace leo::robot

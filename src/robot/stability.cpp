@@ -1,0 +1,81 @@
+#include "robot/stability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace leo::robot {
+
+namespace {
+double cross(Vec2 o, Vec2 a, Vec2 b) noexcept {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+double dist_point_segment(Vec2 p, Vec2 a, Vec2 b) noexcept {
+  const Vec2 ab = b - a;
+  const Vec2 ap = p - a;
+  const double len2 = ab.x * ab.x + ab.y * ab.y;
+  double t = len2 > 0.0 ? (ap.x * ab.x + ap.y * ab.y) / len2 : 0.0;
+  t = std::clamp(t, 0.0, 1.0);
+  const Vec2 closest = a + ab * t;
+  return std::hypot(p.x - closest.x, p.y - closest.y);
+}
+}  // namespace
+
+std::vector<Vec2> convex_hull(std::vector<Vec2> pts) {
+  std::sort(pts.begin(), pts.end(), [](Vec2 a, Vec2 b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end(),
+                        [](Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }),
+            pts.end());
+  const std::size_t n = pts.size();
+  if (n < 3) return pts;
+
+  std::vector<Vec2> hull(2 * n);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {  // lower chain
+    while (k >= 2 && cross(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  for (std::size_t i = n - 1, lower = k + 1; i-- > 0;) {  // upper chain
+    while (k >= lower && cross(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);  // last point equals the first
+  if (hull.size() < 3) {
+    // All collinear: return the extreme segment endpoints.
+    return {pts.front(), pts.back()};
+  }
+  return hull;
+}
+
+double stability_margin(const std::vector<Vec2>& hull, Vec2 p) {
+  if (hull.empty()) return -std::numeric_limits<double>::infinity();
+  if (hull.size() == 1) {
+    return -std::hypot(p.x - hull[0].x, p.y - hull[0].y);
+  }
+  if (hull.size() == 2) {
+    return -dist_point_segment(p, hull[0], hull[1]);
+  }
+  bool inside = true;
+  double min_edge_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const Vec2 a = hull[i];
+    const Vec2 b = hull[(i + 1) % hull.size()];
+    if (cross(a, b, p) < 0) inside = false;  // hull is CCW
+    min_edge_dist = std::min(min_edge_dist, dist_point_segment(p, a, b));
+  }
+  return inside ? min_edge_dist : -min_edge_dist;
+}
+
+double support_margin(const std::vector<Vec2>& stance_feet, Vec2 com) {
+  return stability_margin(convex_hull(stance_feet), com);
+}
+
+bool is_statically_stable(const std::vector<Vec2>& stance_feet, Vec2 com,
+                          double min_margin) {
+  return support_margin(stance_feet, com) >= min_margin;
+}
+
+}  // namespace leo::robot

@@ -1,0 +1,37 @@
+// stability.hpp — quasi-static stability via the support polygon.
+//
+// Leonardo walks slowly (a step takes seconds, §3.2), so the static
+// stability criterion applies: the robot is stable when the vertical
+// projection of the centre of mass lies inside the convex hull of the
+// planted feet. The *stability margin* is the signed distance from the
+// CoM projection to the hull boundary (positive inside) — the standard
+// quasi-static gait metric (McGhee & Frank 1968), which makes the paper's
+// equilibrium rule measurable.
+#pragma once
+
+#include <vector>
+
+#include "robot/config.hpp"
+
+namespace leo::robot {
+
+/// Convex hull of a point set (Andrew's monotone chain), CCW, no
+/// duplicated endpoint. Degenerate inputs (< 3 distinct points) return
+/// the distinct points themselves.
+[[nodiscard]] std::vector<Vec2> convex_hull(std::vector<Vec2> points);
+
+/// Signed distance from `p` to the hull boundary: positive inside,
+/// negative outside. Hulls with fewer than 3 vertices give -distance to
+/// the nearest point/segment (never stable).
+[[nodiscard]] double stability_margin(const std::vector<Vec2>& hull, Vec2 p);
+
+/// Convenience: margin of `com` over the planted-feet polygon.
+[[nodiscard]] double support_margin(const std::vector<Vec2>& stance_feet,
+                                    Vec2 com);
+
+/// A pose is statically stable when the margin is >= `min_margin`
+/// (a small positive margin absorbs CoM estimation error).
+[[nodiscard]] bool is_statically_stable(const std::vector<Vec2>& stance_feet,
+                                        Vec2 com, double min_margin = 0.0);
+
+}  // namespace leo::robot

@@ -1,0 +1,49 @@
+#include "robot/terrain.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace leo::robot {
+
+void Terrain::add_obstacle(const Obstacle& obstacle) {
+  if (obstacle.min.x > obstacle.max.x || obstacle.min.y > obstacle.max.y ||
+      obstacle.height <= 0.0) {
+    throw std::invalid_argument("Terrain: malformed obstacle");
+  }
+  obstacles_.push_back(obstacle);
+}
+
+double Terrain::height_at(Vec2 p) const noexcept {
+  double h = 0.0;
+  for (const auto& o : obstacles_) {
+    if (o.contains_xy(p)) h = std::max(h, o.height);
+  }
+  return h;
+}
+
+std::optional<Obstacle> Terrain::blocking_obstacle(Vec2 from, Vec2 to,
+                                                   double z) const {
+  // Sample the segment; obstacles are large relative to a stride so a
+  // modest sample count cannot tunnel through.
+  constexpr int kSamples = 8;
+  for (const auto& o : obstacles_) {
+    if (z >= o.height) continue;        // foot clears the top
+    if (o.contains_xy(from)) continue;  // started on/inside: not a side hit
+    for (int i = 1; i <= kSamples; ++i) {
+      const double t = static_cast<double>(i) / kSamples;
+      const Vec2 p = from + (to - from) * t;
+      if (o.contains_xy(p)) return o;
+    }
+  }
+  return std::nullopt;
+}
+
+Terrain flat_terrain() { return Terrain{}; }
+
+Terrain wall_ahead_terrain(double distance_m) {
+  Terrain t;
+  t.add_obstacle(Obstacle{{distance_m, -1.0}, {distance_m + 0.3, 1.0}, 0.2});
+  return t;
+}
+
+}  // namespace leo::robot

@@ -1,0 +1,58 @@
+// terrain.hpp — the world Leonardo walks in.
+//
+// The paper's robot has two contact sensors per leg: ground and obstacle
+// (Fig. 1b). Flat ground plus axis-aligned box obstacles is enough to
+// exercise both: feet land on the ground (or on an obstacle top if it is
+// low enough to step onto) and the obstacle sensor fires when a foot's
+// forward sweep runs into an obstacle face.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "robot/config.hpp"
+
+namespace leo::robot {
+
+/// Axis-aligned box sitting on the ground.
+struct Obstacle {
+  Vec2 min;       ///< lower-left corner (world frame)
+  Vec2 max;       ///< upper-right corner
+  double height;  ///< top face z
+
+  [[nodiscard]] bool contains_xy(Vec2 p) const noexcept {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+};
+
+class Terrain {
+ public:
+  Terrain() = default;
+
+  void add_obstacle(const Obstacle& obstacle);
+  [[nodiscard]] const std::vector<Obstacle>& obstacles() const noexcept {
+    return obstacles_;
+  }
+
+  /// Ground height at xy (0 on open floor, obstacle height on top of one).
+  [[nodiscard]] double height_at(Vec2 p) const noexcept;
+
+  /// The obstacle whose *side* a foot traveling from `from` to `to` at
+  /// foot height `z` runs into, if any — this is what trips the leg's
+  /// obstacle contact sensor. Stepping onto a low obstacle from above is
+  /// not a collision.
+  [[nodiscard]] std::optional<Obstacle> blocking_obstacle(Vec2 from, Vec2 to,
+                                                          double z) const;
+
+ private:
+  std::vector<Obstacle> obstacles_;
+};
+
+/// A flat, empty world.
+[[nodiscard]] Terrain flat_terrain();
+
+/// A corridor with a wall ahead at `distance_m` requiring a turn — the
+/// obstacle-course example's world.
+[[nodiscard]] Terrain wall_ahead_terrain(double distance_m);
+
+}  // namespace leo::robot

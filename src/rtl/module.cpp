@@ -1,0 +1,61 @@
+#include "rtl/module.hpp"
+
+#include <sstream>
+
+namespace leo::rtl {
+
+Module::Module(Module* parent, std::string name)
+    : parent_(parent), name_(std::move(name)) {
+  if (parent_ != nullptr) {
+    parent_->children_.push_back(this);
+  }
+}
+
+std::string Module::full_name() const {
+  if (parent_ == nullptr) return name_;
+  return parent_->full_name() + "." + name_;
+}
+
+void Module::register_net(NetBase* net) { nets_.push_back(net); }
+
+void Module::register_reg(RegBase* reg) { regs_.push_back(reg); }
+
+ResourceTally Module::own_resources() const {
+  ResourceTally t;
+  for (const auto* reg : regs_) {
+    t.ff += reg->width();
+  }
+  return t;
+}
+
+ResourceTally Module::total_resources() const {
+  ResourceTally t = own_resources();
+  for (const auto* child : children_) {
+    t += child->total_resources();
+  }
+  return t;
+}
+
+namespace {
+void report_node(const Module& m, std::size_t depth, std::ostringstream& out) {
+  const ResourceTally own = m.own_resources();
+  const ResourceTally total = m.total_resources();
+  out << std::string(depth * 2, ' ') << m.name() << "  [own: " << own.lut4
+      << " LUT4, " << own.ff << " FF";
+  if (own.ram_bits > 0) out << ", " << own.ram_bits << " RAM bits";
+  out << "; subtree: " << total.lut4 << " LUT4, " << total.ff << " FF";
+  if (total.ram_bits > 0) out << ", " << total.ram_bits << " RAM bits";
+  out << "]\n";
+  for (const auto* child : m.children()) {
+    report_node(*child, depth + 1, out);
+  }
+}
+}  // namespace
+
+std::string Module::hierarchy_report() const {
+  std::ostringstream out;
+  report_node(*this, 0, out);
+  return out.str();
+}
+
+}  // namespace leo::rtl

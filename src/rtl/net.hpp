@@ -1,0 +1,145 @@
+// net.hpp — wires and registers for the synchronous logic kernel.
+//
+// The kernel models the paper's FPGA design style: a single clock domain,
+// combinational logic between registers, and two-phase clock-edge
+// semantics (all registers sample their inputs before any register
+// updates, exactly like real flip-flops on a shared clock).
+//
+//   Wire<T>  — a combinational net. Written by exactly one driver module's
+//              evaluate(); readable by anyone. Change-tracked so the
+//              simulator can settle combinational logic to a fixpoint.
+//   Reg<T>   — a flip-flop (or register bank). Modules call set_next()
+//              during clock_edge(); the simulator commits all registers
+//              simultaneously afterwards.
+//
+// T is an unsigned integral type; `width` (in bits) is declared explicitly
+// for value masking and VCD dumping.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace leo::rtl {
+
+class Module;
+
+/// Non-template base so the simulator and the VCD writer can track nets
+/// without knowing their value type.
+class NetBase {
+ public:
+  NetBase(Module* owner, std::string name, unsigned width);
+  virtual ~NetBase() = default;
+
+  NetBase(const NetBase&) = delete;
+  NetBase& operator=(const NetBase&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::string full_name() const;
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
+  [[nodiscard]] Module* owner() const noexcept { return owner_; }
+
+  /// Current value widened to u64 (for tracing; masked to `width`).
+  [[nodiscard]] virtual std::uint64_t value_u64() const noexcept = 0;
+
+  /// True if the net changed since the flag was last cleared.
+  [[nodiscard]] bool dirty() const noexcept { return dirty_; }
+  void clear_dirty() noexcept { dirty_ = false; }
+
+ protected:
+  void mark_dirty() noexcept { dirty_ = true; }
+  [[nodiscard]] std::uint64_t mask() const noexcept { return mask_; }
+
+ private:
+  Module* owner_;
+  std::string name_;
+  unsigned width_;
+  std::uint64_t mask_;
+  bool dirty_ = false;
+};
+
+/// A combinational net. Values are masked to the declared width on write.
+template <typename T>
+class Wire final : public NetBase {
+  static_assert(std::is_unsigned_v<T> || std::is_same_v<T, bool>,
+                "Wire value type must be bool or unsigned integral");
+
+ public:
+  Wire(Module* owner, std::string name, unsigned width)
+      : NetBase(owner, std::move(name), width) {}
+
+  [[nodiscard]] T read() const noexcept { return value_; }
+
+  void write(T v) noexcept {
+    const T masked = static_cast<T>(static_cast<std::uint64_t>(v) & mask());
+    if (masked != value_) {
+      value_ = masked;
+      mark_dirty();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t value_u64() const noexcept override {
+    return static_cast<std::uint64_t>(value_);
+  }
+
+ private:
+  T value_{};
+};
+
+/// Register base: the simulator commits all registers after the clock
+/// edge so updates appear simultaneous.
+class RegBase : public NetBase {
+ public:
+  RegBase(Module* owner, std::string name, unsigned width);
+
+  /// Applies the pending next value (called only by the Simulator).
+  virtual void commit() noexcept = 0;
+  /// Returns the register to its reset value.
+  virtual void reset() noexcept = 0;
+};
+
+template <typename T>
+class Reg final : public RegBase {
+  static_assert(std::is_unsigned_v<T> || std::is_same_v<T, bool>,
+                "Reg value type must be bool or unsigned integral");
+
+ public:
+  Reg(Module* owner, std::string name, unsigned width, T reset_value = T{})
+      : RegBase(owner, std::move(name), width),
+        reset_value_(static_cast<T>(static_cast<std::uint64_t>(reset_value) & mask())),
+        value_(reset_value_),
+        next_(reset_value_) {}
+
+  [[nodiscard]] T read() const noexcept { return value_; }
+
+  /// Schedules the value the register takes at the end of this cycle.
+  /// Legal only inside clock_edge(); the old value stays readable until
+  /// the simulator commits.
+  void set_next(T v) noexcept {
+    next_ = static_cast<T>(static_cast<std::uint64_t>(v) & mask());
+  }
+
+  void commit() noexcept override {
+    if (next_ != value_) {
+      value_ = next_;
+      mark_dirty();
+    }
+  }
+
+  void reset() noexcept override {
+    value_ = reset_value_;
+    next_ = reset_value_;
+    mark_dirty();
+  }
+
+  [[nodiscard]] std::uint64_t value_u64() const noexcept override {
+    return static_cast<std::uint64_t>(value_);
+  }
+
+ private:
+  T reset_value_;
+  T value_;
+  T next_;
+};
+
+}  // namespace leo::rtl

@@ -1,0 +1,62 @@
+#include "rtl/ram.hpp"
+
+#include <stdexcept>
+
+namespace leo::rtl {
+
+unsigned SyncRam::addr_bits(std::size_t depth) {
+  unsigned bits = 1;
+  while ((std::size_t{1} << bits) < depth) ++bits;
+  return bits;
+}
+
+SyncRam::SyncRam(Module* parent, std::string name, std::size_t depth,
+                 unsigned width)
+    : Module(parent, std::move(name)),
+      addr(this, "addr", addr_bits(depth)),
+      we(this, "we", 1),
+      wdata(this, "wdata", width),
+      rdata(this, "rdata", width),
+      width_(width),
+      word_mask_(width >= 64 ? ~std::uint64_t{0}
+                             : (std::uint64_t{1} << width) - 1),
+      mem_(depth, 0) {
+  if (depth == 0 || width == 0 || width > 64) {
+    throw std::invalid_argument("SyncRam: bad geometry");
+  }
+}
+
+void SyncRam::clock_edge() {
+  const auto a = static_cast<std::size_t>(addr.read());
+  if (a >= mem_.size()) {
+    throw std::out_of_range(full_name() + ": address " + std::to_string(a) +
+                            " out of depth " + std::to_string(mem_.size()));
+  }
+  // Read-first: the registered output captures the pre-write contents.
+  rdata.set_next(mem_[a]);
+  if (we.read()) {
+    mem_[a] = wdata.read() & word_mask_;
+  }
+}
+
+void SyncRam::reset() {
+  for (auto& word : mem_) word = 0;
+}
+
+std::uint64_t SyncRam::peek(std::size_t index) const {
+  if (index >= mem_.size()) throw std::out_of_range("SyncRam::peek");
+  return mem_[index];
+}
+
+void SyncRam::poke(std::size_t index, std::uint64_t value) {
+  if (index >= mem_.size()) throw std::out_of_range("SyncRam::poke");
+  mem_[index] = value & word_mask_;
+}
+
+ResourceTally SyncRam::own_resources() const {
+  ResourceTally t = Module::own_resources();  // rdata register FFs
+  t.ram_bits = static_cast<std::uint64_t>(mem_.size()) * width_;
+  return t;
+}
+
+}  // namespace leo::rtl

@@ -1,0 +1,83 @@
+#include "rtl/simulator.hpp"
+
+#include <stdexcept>
+
+#include "rtl/vcd.hpp"
+
+namespace leo::rtl {
+
+Simulator::Simulator(Module& top) : top_(&top) {
+  collect(top);
+  reset();
+}
+
+void Simulator::collect(Module& m) {
+  modules_.push_back(&m);
+  for (auto* net : m.nets()) nets_.push_back(net);
+  for (auto* reg : m.regs()) regs_.push_back(reg);
+  for (auto* child : m.children()) collect(*child);
+}
+
+void Simulator::reset() {
+  for (auto* reg : regs_) reg->reset();
+  for (auto* m : modules_) m->reset();
+  cycles_ = 0;
+  settle();
+}
+
+void Simulator::settle() {
+  // Convergence is judged on end-of-pass values: a module's evaluate()
+  // may legitimately write a default and then override it within one
+  // pass, so intra-pass toggles (the nets' dirty flags) are not loop
+  // evidence — only a value that differs between consecutive passes is.
+  if (snapshot_.size() != nets_.size()) snapshot_.resize(nets_.size());
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    snapshot_[i] = nets_[i]->value_u64();
+  }
+  std::string oscillating;
+  for (unsigned pass = 0; pass < kMaxSettlePasses; ++pass) {
+    for (auto* m : modules_) m->evaluate();
+    bool changed = false;
+    oscillating.clear();
+    for (std::size_t i = 0; i < nets_.size(); ++i) {
+      const std::uint64_t v = nets_[i]->value_u64();
+      if (v != snapshot_[i]) {
+        changed = true;
+        snapshot_[i] = v;
+        if (oscillating.size() < 512) {
+          oscillating += ' ';
+          oscillating += nets_[i]->full_name();
+        }
+      }
+    }
+    if (!changed) return;
+  }
+  throw std::runtime_error(
+      "Simulator: combinational logic did not settle in " +
+      std::to_string(kMaxSettlePasses) + " passes; oscillating nets:" +
+      oscillating);
+}
+
+void Simulator::step() {
+  // Wires already settled (end of previous step / reset).
+  for (auto* m : modules_) m->clock_edge();
+  for (auto* reg : regs_) reg->commit();
+  ++cycles_;
+  settle();
+  if (vcd_ != nullptr) vcd_->sample(cycles_);
+}
+
+void Simulator::run(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) step();
+}
+
+bool Simulator::run_until(const std::function<bool()>& done,
+                          std::uint64_t max_cycles) {
+  for (std::uint64_t i = 0; i < max_cycles; ++i) {
+    step();
+    if (done()) return true;
+  }
+  return done();
+}
+
+}  // namespace leo::rtl

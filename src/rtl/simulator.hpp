@@ -1,0 +1,81 @@
+// simulator.hpp — single-clock-domain cycle simulator.
+//
+// Cycle semantics (matching a synchronous FPGA design at the paper's
+// 1 MHz clock):
+//
+//   1. settle: evaluate() every module repeatedly until no wire changes
+//      (fixpoint). Combinational loops are detected and reported.
+//   2. edge:   clock_edge() every module once — registers sample inputs.
+//   3. commit: all registers take their next values simultaneously;
+//              synchronous RAMs apply their sampled port operations.
+//   4. trace:  the attached VCD sink (if any) records changed nets.
+//
+// One step() is one clock cycle; `cycles()` therefore converts directly
+// to wall-clock time at the modelled frequency (time = cycles / f_clk),
+// which is how the paper's "10 minutes vs 19 hours" comparison is
+// reproduced.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rtl/module.hpp"
+
+namespace leo::rtl {
+
+class VcdWriter;
+
+class Simulator {
+ public:
+  /// Binds to a fully-constructed design. The module tree must not change
+  /// afterwards (hardware does not grow new blocks at runtime either).
+  explicit Simulator(Module& top);
+
+  /// Resets all registers and module state and re-settles combinational
+  /// logic. Cycle counter returns to zero.
+  void reset();
+
+  /// Advances one clock cycle.
+  void step();
+
+  /// Advances n cycles.
+  void run(std::uint64_t n);
+
+  /// Runs until `done()` returns true or `max_cycles` elapse; returns true
+  /// if the predicate fired. The predicate is checked after each cycle.
+  bool run_until(const std::function<bool()>& done, std::uint64_t max_cycles);
+
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+
+  /// Seconds of simulated time at the given clock frequency.
+  [[nodiscard]] double seconds_at(double hz) const {
+    return static_cast<double>(cycles_) / hz;
+  }
+
+  /// Attaches a VCD trace sink (not owned). Pass nullptr to detach.
+  void attach_vcd(VcdWriter* vcd) noexcept { vcd_ = vcd; }
+
+  [[nodiscard]] Module& top() noexcept { return *top_; }
+  [[nodiscard]] const std::vector<Module*>& modules() const noexcept {
+    return modules_;
+  }
+
+  /// Maximum settle passes before declaring a combinational loop.
+  static constexpr unsigned kMaxSettlePasses = 64;
+
+ private:
+  void settle();
+  void collect(Module& m);
+
+  Module* top_;
+  std::vector<Module*> modules_;   // pre-order
+  std::vector<NetBase*> nets_;
+  std::vector<RegBase*> regs_;
+  std::vector<std::uint64_t> snapshot_;  // per-net settle comparison values
+  VcdWriter* vcd_ = nullptr;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace leo::rtl

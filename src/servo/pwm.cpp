@@ -1,0 +1,52 @@
+#include "servo/pwm.hpp"
+
+#include <stdexcept>
+
+namespace leo::servo {
+
+namespace {
+unsigned bits_for(std::uint32_t max_value) {
+  unsigned bits = 1;
+  while ((std::uint64_t{1} << bits) <= max_value) ++bits;
+  return bits;
+}
+}  // namespace
+
+PwmGenerator::PwmGenerator(rtl::Module* parent, std::string name,
+                           PwmParams params)
+    : rtl::Module(parent, std::move(name)),
+      position(this, "position", 8),
+      pwm(this, "pwm", 1),
+      params_(params),
+      counter_(this, "counter", bits_for(params.frame_cycles - 1)),
+      latched_pulse_(this, "latched_pulse",
+                     bits_for(params.min_pulse_cycles +
+                              (std::uint32_t{255} << params.position_shift))) {
+  if (params_.frame_cycles <=
+      params_.min_pulse_cycles + (std::uint32_t{255} << params_.position_shift)) {
+    throw std::invalid_argument("PwmParams: pulse cannot fill the frame");
+  }
+}
+
+void PwmGenerator::evaluate() {
+  pwm.write(counter_.read() < latched_pulse_.read());
+}
+
+void PwmGenerator::clock_edge() {
+  if (counter_.read() + 1 >= params_.frame_cycles) {
+    counter_.set_next(0);
+    latched_pulse_.set_next(pulse_cycles(position.read()));
+  } else {
+    counter_.set_next(counter_.read() + 1);
+  }
+}
+
+rtl::ResourceTally PwmGenerator::own_resources() const {
+  rtl::ResourceTally t = Module::own_resources();
+  // 15-bit increment + two magnitude comparators against constants,
+  // ~3 bits per LUT4 stage.
+  t.lut4 += 15;
+  return t;
+}
+
+}  // namespace leo::servo

@@ -1,0 +1,51 @@
+#include "servo/servo_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace leo::servo {
+
+ServoModel::ServoModel(ServoParams params) : params_(params) {
+  if (params_.min_pulse_us >= params_.max_pulse_us ||
+      params_.angle_min_rad >= params_.angle_max_rad ||
+      params_.slew_rad_per_s <= 0.0) {
+    throw std::invalid_argument("ServoParams: inconsistent");
+  }
+}
+
+double ServoModel::pulse_to_angle(double pulse_us) const noexcept {
+  const double t = std::clamp(
+      (pulse_us - params_.min_pulse_us) /
+          (params_.max_pulse_us - params_.min_pulse_us),
+      0.0, 1.0);
+  return params_.angle_min_rad +
+         t * (params_.angle_max_rad - params_.angle_min_rad);
+}
+
+void ServoModel::tick(bool level, double dt_us) {
+  if (level) {
+    pulse_us_ += dt_us;
+  } else if (last_level_) {
+    // Falling edge: a pulse of plausible servo length updates the target;
+    // runts and overlong pulses (glitches) are ignored, as real
+    // demodulators do.
+    if (pulse_us_ >= params_.min_pulse_us * 0.5 &&
+        pulse_us_ <= params_.max_pulse_us * 1.5) {
+      target_ = pulse_to_angle(pulse_us_);
+      commanded_ = true;
+    }
+    pulse_us_ = 0.0;
+  }
+  last_level_ = level;
+
+  const double max_step = params_.slew_rad_per_s * dt_us * 1e-6;
+  angle_ += std::clamp(target_ - angle_, -max_step, max_step);
+}
+
+double ServoModel::normalized() const noexcept {
+  const double mid = 0.5 * (params_.angle_min_rad + params_.angle_max_rad);
+  const double half = 0.5 * (params_.angle_max_rad - params_.angle_min_rad);
+  return std::clamp((angle_ - mid) / half, -1.0, 1.0);
+}
+
+}  // namespace leo::servo

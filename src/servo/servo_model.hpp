@@ -1,0 +1,50 @@
+// servo_model.hpp — electromechanical model of Leonardo's RC servos.
+//
+// Decodes the PWM pin the way a real servo's pulse-width demodulator
+// does (rising edge starts a measurement, falling edge converts the pulse
+// length to a target angle) and slews the output shaft toward the target
+// at a bounded angular rate. Closing the loop RTL-controller -> PWM pin ->
+// this model -> kinematics validates the full signal path of paper Fig. 4.
+#pragma once
+
+#include <cstdint>
+
+namespace leo::servo {
+
+struct ServoParams {
+  double min_pulse_us = 1000.0;   ///< maps to angle_min
+  double max_pulse_us = 2020.0;   ///< maps to angle_max
+  double angle_min_rad = -0.7854; ///< -45 deg
+  double angle_max_rad = 0.7854;  ///< +45 deg
+  double slew_rad_per_s = 5.236;  ///< ~60 deg / 200 ms, a typical micro servo
+};
+
+class ServoModel {
+ public:
+  explicit ServoModel(ServoParams params = {});
+
+  /// Advances the model by `dt_us` microseconds with the PWM pin at
+  /// `level`. Call once per simulator cycle (dt_us = 1 at 1 MHz).
+  void tick(bool level, double dt_us = 1.0);
+
+  /// Current shaft angle (radians).
+  [[nodiscard]] double angle() const noexcept { return angle_; }
+  /// Angle commanded by the most recent complete pulse.
+  [[nodiscard]] double target() const noexcept { return target_; }
+  /// Normalized shaft position in [-1, 1] (for the kinematics layer).
+  [[nodiscard]] double normalized() const noexcept;
+  /// True once at least one valid pulse has been decoded.
+  [[nodiscard]] bool commanded() const noexcept { return commanded_; }
+
+ private:
+  [[nodiscard]] double pulse_to_angle(double pulse_us) const noexcept;
+
+  ServoParams params_;
+  bool last_level_ = false;
+  double pulse_us_ = 0.0;
+  double target_ = 0.0;
+  double angle_ = 0.0;
+  bool commanded_ = false;
+};
+
+}  // namespace leo::servo

@@ -1,0 +1,176 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace leo::util {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t word_count(std::size_t width) {
+  return (width + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+BitVec::BitVec(std::size_t width) : width_(width), words_(word_count(width), 0) {}
+
+BitVec::BitVec(std::size_t width, std::uint64_t value) : BitVec(width) {
+  if (width_ > 0) {
+    words_[0] = value;
+    mask_top_word();
+  }
+}
+
+BitVec BitVec::from_binary(const std::string& text) {
+  std::string clean;
+  clean.reserve(text.size());
+  for (char c : text) {
+    if (c == '_') continue;
+    if (c != '0' && c != '1') {
+      throw std::invalid_argument("BitVec::from_binary: bad character");
+    }
+    clean.push_back(c);
+  }
+  BitVec v(clean.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    // MSB first: clean[0] is the highest bit.
+    v.set(clean.size() - 1 - i, clean[i] == '1');
+  }
+  return v;
+}
+
+void BitVec::check_index(std::size_t i) const {
+  if (i >= width_) {
+    throw std::out_of_range("BitVec index " + std::to_string(i) +
+                            " out of width " + std::to_string(width_));
+  }
+}
+
+void BitVec::mask_top_word() noexcept {
+  const std::size_t rem = width_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << rem) - 1;
+  }
+}
+
+bool BitVec::get(std::size_t i) const {
+  check_index(i);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void BitVec::set(std::size_t i, bool v) {
+  check_index(i);
+  const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+  if (v) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+void BitVec::flip(std::size_t i) {
+  check_index(i);
+  words_[i / kWordBits] ^= std::uint64_t{1} << (i % kWordBits);
+}
+
+void BitVec::clear() noexcept {
+  for (auto& w : words_) w = 0;
+}
+
+std::uint64_t BitVec::slice_u64(std::size_t lo, std::size_t n) const {
+  if (n > kWordBits) throw std::invalid_argument("slice_u64: n > 64");
+  if (n == 0) return 0;
+  if (lo + n > width_) throw std::out_of_range("slice_u64 out of range");
+  const std::size_t w = lo / kWordBits;
+  const std::size_t off = lo % kWordBits;
+  std::uint64_t out = words_[w] >> off;
+  if (off + n > kWordBits) {
+    out |= words_[w + 1] << (kWordBits - off);
+  }
+  if (n < kWordBits) {
+    out &= (std::uint64_t{1} << n) - 1;
+  }
+  return out;
+}
+
+void BitVec::set_slice_u64(std::size_t lo, std::size_t n, std::uint64_t value) {
+  if (n > kWordBits) throw std::invalid_argument("set_slice_u64: n > 64");
+  if (n == 0) return;
+  if (lo + n > width_) throw std::out_of_range("set_slice_u64 out of range");
+  if (n < kWordBits) {
+    value &= (std::uint64_t{1} << n) - 1;
+  }
+  const std::size_t w = lo / kWordBits;
+  const std::size_t off = lo % kWordBits;
+  const std::uint64_t lo_mask =
+      (n + off >= kWordBits) ? ~std::uint64_t{0} << off
+                             : (((std::uint64_t{1} << n) - 1) << off);
+  words_[w] = (words_[w] & ~lo_mask) | ((value << off) & lo_mask);
+  if (off + n > kWordBits) {
+    const std::size_t hi_bits = off + n - kWordBits;
+    const std::uint64_t hi_mask = (std::uint64_t{1} << hi_bits) - 1;
+    words_[w + 1] = (words_[w + 1] & ~hi_mask) | (value >> (kWordBits - off));
+  }
+  mask_top_word();
+}
+
+BitVec BitVec::slice(std::size_t lo, std::size_t n) const {
+  if (lo + n > width_) throw std::out_of_range("slice out of range");
+  BitVec out(n);
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t chunk = std::min<std::size_t>(kWordBits, n - done);
+    out.set_slice_u64(done, chunk, slice_u64(lo + done, chunk));
+    done += chunk;
+  }
+  return out;
+}
+
+std::uint64_t BitVec::to_u64() const {
+  if (width_ > kWordBits) {
+    throw std::logic_error("BitVec::to_u64 on vector wider than 64 bits");
+  }
+  return words_.empty() ? 0 : words_[0];
+}
+
+std::size_t BitVec::popcount() const noexcept {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t BitVec::hamming_distance(const BitVec& other) const {
+  if (other.width_ != width_) {
+    throw std::invalid_argument("hamming_distance: width mismatch");
+  }
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  }
+  return n;
+}
+
+std::string BitVec::to_binary(std::size_t group) const {
+  std::string out;
+  out.reserve(width_ + (group ? width_ / group : 0));
+  for (std::size_t i = width_; i-- > 0;) {
+    out.push_back(get(i) ? '1' : '0');
+    if (group != 0 && i != 0 && i % group == 0) out.push_back('_');
+  }
+  return out;
+}
+
+std::string BitVec::to_hex() const {
+  static constexpr char digits[] = "0123456789abcdef";
+  const std::size_t nibbles = (width_ + 3) / 4;
+  std::string out = "0x";
+  for (std::size_t i = nibbles; i-- > 0;) {
+    const std::size_t lo = i * 4;
+    const std::size_t n = std::min<std::size_t>(4, width_ - lo);
+    out.push_back(digits[slice_u64(lo, n)]);
+  }
+  return out;
+}
+
+}  // namespace leo::util

@@ -1,0 +1,43 @@
+// fixed.hpp — unsigned 0.8 fixed-point probabilities.
+//
+// The GAP compares a random byte from the CA generator against a constant
+// threshold byte; a probability p is therefore quantized to round(p * 256)
+// clamped to [0, 255] (so p = 1.0 is not exactly representable — the
+// hardware's "always" is 255/256, which the paper's thresholds 0.8 / 0.7
+// never hit). Keeping this quantization explicit lets the software GA
+// reproduce the hardware's behaviour bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace leo::util {
+
+/// Probability in units of 1/256.
+class Prob8 {
+ public:
+  constexpr Prob8() = default;
+  constexpr explicit Prob8(std::uint8_t raw) noexcept : raw_(raw) {}
+
+  /// Quantizes p in [0, 1] to the nearest representable probability.
+  static constexpr Prob8 from_double(double p) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument("Prob8: p outside [0, 1]");
+    }
+    const double scaled = p * 256.0 + 0.5;
+    const auto raw = scaled >= 255.0 ? 255u : static_cast<unsigned>(scaled);
+    return Prob8(static_cast<std::uint8_t>(raw));
+  }
+
+  [[nodiscard]] constexpr std::uint8_t raw() const noexcept { return raw_; }
+  [[nodiscard]] constexpr double value() const noexcept {
+    return static_cast<double>(raw_) / 256.0;
+  }
+
+  constexpr bool operator==(const Prob8&) const noexcept = default;
+
+ private:
+  std::uint8_t raw_ = 0;
+};
+
+}  // namespace leo::util

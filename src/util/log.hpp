@@ -1,0 +1,55 @@
+// log.hpp — leveled, thread-safe logging to stderr.
+//
+// Deliberately tiny: experiments log milestones (generation counts,
+// convergence events), not per-cycle chatter — the RTL kernel has VCD
+// traces for that.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace leo::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits "[LEVEL] tag: message" to stderr under a mutex.
+void log_message(LogLevel level, const std::string& tag,
+                 const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const std::string& tag, Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, tag, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(const std::string& tag, Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, tag, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(const std::string& tag, Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, tag, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(const std::string& tag, Args&&... args) {
+  log_message(LogLevel::kError, tag, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace leo::util

@@ -1,0 +1,65 @@
+// rng.hpp — deterministic pseudo-random sources.
+//
+// Everything stochastic in this repository draws from a RandomSource so
+// that experiments are reproducible from a single seed. Two engines are
+// provided: SplitMix64 (seed expansion) and Xoshiro256** (the workhorse).
+// The hardware-faithful cellular-automaton generator used by the GAP lives
+// in ca_rng.hpp and also implements RandomSource.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bitvec.hpp"
+
+namespace leo::util {
+
+/// Abstract source of uniform random bits.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Next 64 uniform bits.
+  virtual std::uint64_t next_u64() = 0;
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double();
+
+  /// Bernoulli draw: true with probability p8/256. This mirrors the
+  /// hardware comparison "random byte < threshold" used by the GAP, so the
+  /// software GA and hardware GAP share probability semantics exactly.
+  bool next_bool_p8(std::uint8_t p8);
+
+  /// Uniform random bit vector of the given width.
+  BitVec next_bits(std::size_t width);
+};
+
+/// SplitMix64 — tiny, well-distributed stream used to seed other engines.
+class SplitMix64 final : public RandomSource {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+  std::uint64_t next_u64() override;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** 1.0 (Blackman & Vigna) — fast, 256-bit state, passes BigCrush.
+class Xoshiro256 final : public RandomSource {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+  std::uint64_t next_u64() override;
+
+  /// Equivalent to 2^128 next_u64() calls; used to derive independent
+  /// per-thread streams for parallel experiment sweeps.
+  void long_jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace leo::util

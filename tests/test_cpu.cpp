@@ -1,0 +1,326 @@
+// Tests for the MCU16 core, the assembler and the GA firmware — the
+// processor-based controller the paper's FPGA replaces.
+#include "cpu/mcu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cpu/assembler.hpp"
+#include "cpu/disassembler.hpp"
+#include "cpu/firmware.hpp"
+#include "cpu/isa.hpp"
+#include "fitness/rules.hpp"
+#include "genome/known_gaits.hpp"
+#include "util/rng.hpp"
+
+namespace leo::cpu {
+namespace {
+
+Mcu run_asm(const std::string& source, std::uint64_t max_cycles = 100'000) {
+  Mcu mcu;
+  mcu.load_program(assemble(source).words);
+  EXPECT_TRUE(mcu.run(max_cycles)) << "program did not halt";
+  return mcu;
+}
+
+// ---- ISA semantics ----
+
+TEST(Mcu, AluBasics) {
+  const Mcu m = run_asm(R"(
+    ldi r1, 200
+    ldi r2, 100
+    add r3, r1, r2
+    sub r4, r1, r2
+    and r0, r1, r2
+    halt)");
+  EXPECT_EQ(m.reg(3), 300);
+  EXPECT_EQ(m.reg(4), 100);
+  EXPECT_EQ(m.reg(0), 200u & 100u);
+}
+
+TEST(Mcu, SixteenBitWraparoundAndCarry) {
+  const Mcu m = run_asm(R"(
+    li  r1, 0xFFFF
+    ldi r2, 1
+    add r3, r1, r2
+    halt)");
+  EXPECT_EQ(m.reg(3), 0);
+  EXPECT_TRUE(m.flag_c());
+  EXPECT_TRUE(m.flag_z());
+}
+
+TEST(Mcu, SubBorrowSemantics) {
+  const Mcu m = run_asm(R"(
+    ldi r1, 5
+    ldi r2, 9
+    sub r3, r1, r2
+    halt)");
+  EXPECT_EQ(m.reg(3), static_cast<std::uint16_t>(5 - 9));
+  EXPECT_FALSE(m.flag_c());  // borrow occurred
+  EXPECT_TRUE(m.flag_n());
+}
+
+TEST(Mcu, ShiftsUseLowNibbleOfAmount) {
+  const Mcu m = run_asm(R"(
+    ldi r1, 1
+    ldi r2, 15
+    shl r3, r1, r2
+    ldi r2, 3
+    shr r4, r3, r2
+    halt)");
+  EXPECT_EQ(m.reg(3), 0x8000);
+  EXPECT_EQ(m.reg(4), 0x1000);
+}
+
+TEST(Mcu, LdihComposesWithLdi) {
+  const Mcu m = run_asm(R"(
+    ldi  r1, 0x34
+    ldih r1, 0x12
+    halt)");
+  EXPECT_EQ(m.reg(1), 0x1234);
+}
+
+TEST(Mcu, AddiSignExtends) {
+  const Mcu m = run_asm(R"(
+    ldi  r1, 10
+    addi r1, -3
+    halt)");
+  EXPECT_EQ(m.reg(1), 7);
+}
+
+TEST(Mcu, LoadStoreRoundTrip) {
+  const Mcu m = run_asm(R"(
+    ldi r1, 100
+    ldi r2, 42
+    st  r2, [r1+5]
+    ld  r3, [r1+5]
+    halt)");
+  EXPECT_EQ(m.reg(3), 42);
+  EXPECT_EQ(m.peek(105), 42);
+}
+
+TEST(Mcu, BranchesFollowFlags) {
+  const Mcu m = run_asm(R"(
+    ldi r1, 3
+    ldi r2, 0
+  loop:
+    addi r2, 1
+    addi r1, -1
+    brnz loop
+    halt)");
+  EXPECT_EQ(m.reg(2), 3);
+}
+
+TEST(Mcu, CallRetConvention) {
+  const Mcu m = run_asm(R"(
+    ldi  r1, 5
+    call double_it
+    call double_it
+    halt
+  double_it:
+    add r1, r1, r1
+    ret)");
+  EXPECT_EQ(m.reg(1), 20);
+}
+
+TEST(Mcu, JmpReachesFarTargets) {
+  const Mcu m = run_asm(R"(
+    jmp over
+    ldi r1, 99      ; skipped
+  over:
+    ldi r2, 7
+    halt)");
+  EXPECT_EQ(m.reg(1), 0);
+  EXPECT_EQ(m.reg(2), 7);
+}
+
+TEST(Mcu, CycleCostsAccrue) {
+  Mcu m;
+  m.load_program(assemble("ldi r1, 1\nld r2, [r1]\nhalt").words);
+  m.run(100);
+  // ldi (1) + ld (2) + halt (1) = 4 cycles, 3 instructions.
+  EXPECT_EQ(m.cycles(), 4u);
+  EXPECT_EQ(m.instructions(), 3u);
+}
+
+TEST(Mcu, HaltStopsExecution) {
+  Mcu m;
+  m.load_program(assemble("halt\nldi r1, 9").words);
+  m.run(100);
+  EXPECT_TRUE(m.halted());
+  EXPECT_EQ(m.reg(1), 0);
+  EXPECT_FALSE(m.step());
+}
+
+TEST(Mcu, RegisterIndexValidation) {
+  Mcu m;
+  EXPECT_THROW((void)m.reg(8), std::out_of_range);
+  EXPECT_THROW(m.set_reg(8, 0), std::out_of_range);
+}
+
+// ---- assembler ----
+
+TEST(Assembler, LabelsResolveForwardAndBackward) {
+  const Program p = assemble(R"(
+  start:
+    br end
+    nop
+  end:
+    br start
+    halt)");
+  EXPECT_EQ(p.symbols.at("start"), 0);
+  EXPECT_EQ(p.symbols.at("end"), 2);
+}
+
+TEST(Assembler, RejectsUnknownMnemonic) {
+  EXPECT_THROW(assemble("frobnicate r1, r2"), std::runtime_error);
+}
+
+TEST(Assembler, RejectsUnknownLabel) {
+  EXPECT_THROW(assemble("br nowhere"), std::runtime_error);
+}
+
+TEST(Assembler, RejectsDuplicateLabel) {
+  EXPECT_THROW(assemble("a:\na:\nhalt"), std::runtime_error);
+}
+
+TEST(Assembler, RejectsOutOfRangeImmediates) {
+  EXPECT_THROW(assemble("ldi r1, 256"), std::runtime_error);
+  EXPECT_THROW(assemble("addi r1, 200"), std::runtime_error);
+  EXPECT_THROW(assemble("ld r1, [r2+64]"), std::runtime_error);
+}
+
+TEST(Assembler, RejectsBadRegister) {
+  EXPECT_THROW(assemble("ldi r8, 0"), std::runtime_error);
+  EXPECT_THROW(assemble("add r1, r2, x3"), std::runtime_error);
+}
+
+TEST(Assembler, ReportsLineNumbers) {
+  try {
+    (void)assemble("nop\nnop\nbogus");
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored) {
+  const Program p = assemble("; header\n\n  nop ; trailing\nhalt");
+  EXPECT_EQ(p.words.size(), 2u);
+}
+
+// ---- disassembler ----
+
+TEST(Disassembler, RendersEveryRealInstruction) {
+  const Program p = assemble(R"(
+  top:
+    nop
+    add  r1, r2, r3
+    mov  r4, r5
+    ldi  r1, 200
+    ldih r1, 18
+    addi r1, -3
+    ld   r2, [r3+5]
+    st   r2, [r3+5]
+    cmp  r1, r2
+    brnz top
+    jal  r7, r2
+    ret
+    halt)");
+  const std::string text = disassemble(p.words);
+  for (const char* expect :
+       {"nop", "add r1, r2, r3", "mov r4, r5", "ldi r1, 200", "ldih r1, 18",
+        "addi r1, -3", "ld r2, [r3+5]", "st r2, [r3+5]", "cmp r1, r2",
+        "brnz L0", "jal r7, r2", "ret", "halt"}) {
+    EXPECT_NE(text.find(expect), std::string::npos) << expect;
+  }
+}
+
+TEST(Disassembler, RoundTripIsWordIdentical) {
+  // assemble -> disassemble -> assemble must reproduce the exact words
+  // (pseudo-ops expand to real instructions the first time; the second
+  // pass sees only real instructions).
+  for (const std::string& source :
+       {ga_firmware_source(), fitness_kernel_source()}) {
+    const Program original = assemble(source);
+    const Program again = assemble(disassemble_roundtrip(original.words));
+    ASSERT_GE(again.words.size(), original.words.size());
+    for (std::size_t i = 0; i < original.words.size(); ++i) {
+      ASSERT_EQ(again.words[i], original.words[i]) << "word " << i;
+    }
+  }
+}
+
+TEST(Disassembler, UnknownOpcodeBecomesComment) {
+  const std::string text = disassemble({0xF000});
+  EXPECT_NE(text.find(";"), std::string::npos);
+}
+
+// ---- firmware ----
+
+TEST(Firmware, FitnessKernelMatchesOracleOnKnownGaits) {
+  Mcu mcu;
+  EXPECT_EQ(run_fitness_kernel(mcu, genome::tripod_gait().to_bits()), 60u);
+  EXPECT_EQ(run_fitness_kernel(mcu, genome::all_zero_gait().to_bits()),
+            fitness::score(genome::all_zero_gait()));
+  EXPECT_EQ(run_fitness_kernel(mcu, genome::pronking_gait().to_bits()),
+            fitness::score(genome::pronking_gait()));
+  EXPECT_EQ(run_fitness_kernel(mcu, genome::reverse_tripod_gait().to_bits()),
+            fitness::score(genome::reverse_tripod_gait()));
+}
+
+TEST(Firmware, FitnessKernelMatchesOracleOnRandomGenomes) {
+  Mcu mcu;
+  util::Xoshiro256 rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t g = rng.next_u64() & genome::kGenomeMask;
+    ASSERT_EQ(run_fitness_kernel(mcu, g), fitness::score(g)) << "genome " << g;
+  }
+}
+
+TEST(Firmware, FitnessKernelCyclesAreSubstantial) {
+  // The point of the comparison: software fitness costs three orders of
+  // magnitude more clock cycles than the combinational module's one.
+  Mcu mcu;
+  (void)run_fitness_kernel(mcu, genome::tripod_gait().to_bits());
+  EXPECT_GT(mcu.cycles(), 500u);
+  EXPECT_LT(mcu.cycles(), 5000u);
+}
+
+TEST(Firmware, GaConvergesToMaximumFitness) {
+  const GaFirmwareResult r = run_ga_firmware(1, 2'000'000'000);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.best_fitness, 60u);
+  EXPECT_TRUE(fitness::is_max_fitness(r.best_genome));
+  EXPECT_GT(r.generations, 0u);
+}
+
+TEST(Firmware, GaDeterministicPerSeed) {
+  const GaFirmwareResult a = run_ga_firmware(7, 2'000'000'000);
+  const GaFirmwareResult b = run_ga_firmware(7, 2'000'000'000);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.best_genome, b.best_genome);
+}
+
+TEST(Firmware, SeveralSeedsAllConverge) {
+  for (const std::uint16_t seed : {std::uint16_t{2}, std::uint16_t{3},
+                                   std::uint16_t{4}, std::uint16_t{5},
+                                   std::uint16_t{6}}) {
+    const GaFirmwareResult r = run_ga_firmware(seed, 2'000'000'000);
+    EXPECT_TRUE(r.converged) << "seed " << seed;
+    EXPECT_EQ(fitness::score(r.best_genome), r.best_fitness);
+  }
+}
+
+TEST(Firmware, ZeroSeedIsCoerced) {
+  const GaFirmwareResult r = run_ga_firmware(0, 2'000'000'000);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Firmware, CycleBudgetRespected) {
+  const GaFirmwareResult r = run_ga_firmware(1, 1000);
+  EXPECT_FALSE(r.converged);
+  EXPECT_LE(r.cycles, 1002u);  // may finish the in-flight instruction
+}
+
+}  // namespace
+}  // namespace leo::cpu

@@ -1,0 +1,219 @@
+// Fuzz / property tests across module boundaries: feed large volumes of
+// random (but reproducible) inputs through the public APIs and assert
+// the invariants that must hold for *every* input.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpu/assembler.hpp"
+#include "cpu/disassembler.hpp"
+#include "cpu/isa.hpp"
+#include "fitness/rules.hpp"
+#include "fpga/bitstream.hpp"
+#include "fpga/fitness_netlist.hpp"
+#include "gap/gap_top.hpp"
+#include "genome/gait_analysis.hpp"
+#include "genome/gait_genome.hpp"
+#include "robot/walker.hpp"
+#include "rtl/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace leo {
+namespace {
+
+/// Every random genome must walk without violating physical invariants:
+/// finite metrics, displacement bounded by the ideal, non-negative slip,
+/// outcome counts bounded by the phase count.
+TEST(Fuzz, WalkerInvariantsOnRandomGenomes) {
+  util::Xoshiro256 rng(101);
+  robot::Walker walker(robot::kLeonardoConfig, robot::flat_terrain());
+  constexpr unsigned kCycles = 5;
+  const double ideal = walker.ideal_distance(kCycles);
+  for (int i = 0; i < 3000; ++i) {
+    const genome::GaitGenome g =
+        genome::GaitGenome::from_bits(rng.next_u64() & genome::kGenomeMask);
+    const robot::WalkMetrics m = walker.walk(g, kCycles);
+    ASSERT_TRUE(std::isfinite(m.distance_forward_m));
+    ASSERT_TRUE(std::isfinite(m.slip_m));
+    ASSERT_TRUE(std::isfinite(m.mean_margin_m));
+    ASSERT_LE(std::abs(m.distance_forward_m), ideal + 0.1);
+    ASSERT_GE(m.slip_m, 0.0);
+    ASSERT_EQ(m.phases_executed, kCycles * 6);
+    ASSERT_LE(m.falls + m.stumbles, m.phases_executed);
+    const double q = m.quality(ideal);
+    ASSERT_GE(q, 0.0);
+    ASSERT_LE(q, 1.0);
+  }
+}
+
+/// analyze() must never crash or produce out-of-range descriptors, and
+/// its class must be consistent with its own counts.
+TEST(Fuzz, GaitAnalysisInvariants) {
+  util::Xoshiro256 rng(102);
+  for (int i = 0; i < 20'000; ++i) {
+    const genome::GaitGenome g =
+        genome::GaitGenome::from_bits(rng.next_u64() & genome::kGenomeMask);
+    const genome::GaitProfile p = genome::analyze(g);
+    ASSERT_LE(p.swing_count[0], 6u);
+    ASSERT_LE(p.swing_count[1], 6u);
+    ASSERT_LE(p.swing_left[0], p.swing_count[0]);
+    ASSERT_EQ(p.locomoting_legs + p.conflicting_legs, 6u);
+    ASSERT_GE(p.duty_factor, 0.0);
+    ASSERT_LE(p.duty_factor, 1.0);
+    if (p.cls == genome::GaitClass::kTripod) {
+      ASSERT_EQ(p.locomoting_legs, 6u);
+    }
+    if (p.cls == genome::GaitClass::kStationary) {
+      ASSERT_EQ(p.locomoting_legs, 0u);
+    }
+  }
+}
+
+/// Gate-level fitness == bit-level fitness on a large random sample plus
+/// the structured corners (every single-bit genome).
+TEST(Fuzz, FitnessNetlistAgreesEverywhereSampled) {
+  const fpga::Netlist nl = fpga::build_fitness_netlist();
+  for (unsigned bit = 0; bit < 36; ++bit) {
+    const std::uint64_t g = std::uint64_t{1} << bit;
+    ASSERT_EQ(fpga::eval_fitness_netlist(nl, g), fitness::score(g));
+  }
+  util::Xoshiro256 rng(103);
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t g = rng.next_u64() & genome::kGenomeMask;
+    ASSERT_EQ(fpga::eval_fitness_netlist(nl, g), fitness::score(g));
+  }
+}
+
+/// Bitstream frames survive arbitrary payload widths and contents.
+TEST(Fuzz, BitstreamRoundTripArbitraryPayloads) {
+  util::Xoshiro256 rng(104);
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t width = 1 + rng.next_below(255);
+    const util::BitVec payload = rng.next_bits(width);
+    const util::BitVec frame = fpga::pack_frame(payload);
+    ASSERT_EQ(fpga::unpack_frame(frame), payload) << "width " << width;
+  }
+}
+
+/// Random two-bit corruption is caught with overwhelming probability by
+/// the CRC (two flips can in principle collide, but CRC-16/CCITT detects
+/// all double-bit errors within its window).
+TEST(Fuzz, BitstreamDetectsRandomDoubleFlips) {
+  util::Xoshiro256 rng(105);
+  const util::BitVec frame = fpga::pack_genome(0x123456789ULL);
+  for (int i = 0; i < 300; ++i) {
+    util::BitVec corrupt = frame;
+    const std::size_t a = rng.next_below(frame.width());
+    std::size_t b = rng.next_below(frame.width());
+    while (b == a) b = rng.next_below(frame.width());
+    corrupt.flip(a);
+    corrupt.flip(b);
+    ASSERT_THROW((void)fpga::unpack_frame(corrupt), std::runtime_error)
+        << "flips " << a << ", " << b;
+  }
+}
+
+/// Randomly generated valid programs must disassemble and reassemble to
+/// identical words (the encoder and decoder are mutual inverses).
+TEST(Fuzz, AssemblerDisassemblerInverse) {
+  util::Xoshiro256 rng(106);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Build a random straight-line program of real instructions (branches
+    // only backward/forward within range, to existing addresses).
+    std::vector<std::uint16_t> words;
+    const std::size_t n = 5 + rng.next_below(60);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (rng.next_below(8)) {
+        case 0: {
+          const auto func = static_cast<cpu::AluFunc>(rng.next_below(8));
+          // MOV ignores rt; the canonical (assembler-produced) encoding
+          // zeroes it, so the generator does too.
+          const unsigned rt =
+              func == cpu::AluFunc::kMov
+                  ? 0u
+                  : static_cast<unsigned>(rng.next_below(8));
+          words.push_back(
+              cpu::enc_alu(func, static_cast<unsigned>(rng.next_below(8)),
+                           static_cast<unsigned>(rng.next_below(8)), rt));
+          break;
+        }
+        case 1:
+          words.push_back(cpu::enc_imm8(cpu::Op::kLdi,
+                                        static_cast<unsigned>(rng.next_below(8)),
+                                        static_cast<unsigned>(rng.next_below(256))));
+          break;
+        case 2:
+          words.push_back(cpu::enc_imm8(cpu::Op::kAddi,
+                                        static_cast<unsigned>(rng.next_below(8)),
+                                        static_cast<unsigned>(rng.next_below(256))));
+          break;
+        case 3:
+          words.push_back(cpu::enc_mem(cpu::Op::kLd,
+                                       static_cast<unsigned>(rng.next_below(8)),
+                                       static_cast<unsigned>(rng.next_below(8)),
+                                       static_cast<unsigned>(rng.next_below(64))));
+          break;
+        case 4:
+          words.push_back(cpu::enc_mem(cpu::Op::kSt,
+                                       static_cast<unsigned>(rng.next_below(8)),
+                                       static_cast<unsigned>(rng.next_below(8)),
+                                       static_cast<unsigned>(rng.next_below(64))));
+          break;
+        case 5: {
+          // Branch to a random address within the program.
+          const int target = static_cast<int>(rng.next_below(n));
+          const int off = target - (static_cast<int>(i) + 1);
+          if (off >= -256 && off <= 255) {
+            words.push_back(cpu::enc_br(
+                static_cast<cpu::Cond>(rng.next_below(7)), off));
+          } else {
+            words.push_back(cpu::kInsnNop);
+          }
+          break;
+        }
+        case 6:
+          words.push_back(cpu::enc_cmp(
+              static_cast<unsigned>(rng.next_below(8)),
+              static_cast<unsigned>(rng.next_below(8))));
+          break;
+        default:
+          words.push_back(cpu::kInsnNop);
+          break;
+      }
+    }
+    words.push_back(cpu::kInsnHalt);
+
+    const cpu::Program again =
+        cpu::assemble(cpu::disassemble_roundtrip(words));
+    ASSERT_GE(again.words.size(), words.size());
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      ASSERT_EQ(again.words[i], words[i])
+          << "trial " << trial << " word " << i << ": "
+          << cpu::disassemble_word(words[i], static_cast<std::uint16_t>(i));
+    }
+  }
+}
+
+/// The GAP must hold its invariants over a long free run: genome widths
+/// respected, best-ever monotone, fitness RAM consistent with the basis
+/// population after each EVAL phase.
+TEST(Fuzz, GapLongRunInvariants) {
+  gap::GapParams params;
+  params.target_fitness = 61;  // run forever
+  gap::GapTop top(nullptr, "gap", params, 0xFEED);
+  rtl::Simulator sim(top);
+  unsigned last_best = 0;
+  for (int chunk = 0; chunk < 50; ++chunk) {
+    sim.run(1000);
+    ASSERT_GE(top.best_fitness(), last_best);
+    ASSERT_LE(top.best_fitness(), 60u);
+    last_best = top.best_fitness();
+    for (std::size_t i = 0; i < params.population_size; ++i) {
+      ASSERT_EQ(top.peek_basis(i) >> params.genome_bits, 0u);
+    }
+  }
+  ASSERT_GT(top.generation(), 100u);
+}
+
+}  // namespace
+}  // namespace leo

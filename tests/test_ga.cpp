@@ -1,0 +1,407 @@
+// Tests for the software GA library (selection, crossover, mutation,
+// engine) — the reference the hardware GAP is validated against.
+#include "ga/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fitness/rules.hpp"
+#include "ga/diversity.hpp"
+#include "util/rng.hpp"
+
+namespace leo::ga {
+namespace {
+
+Population make_pop(std::initializer_list<unsigned> fitnesses) {
+  Population pop;
+  std::uint64_t i = 0;
+  for (unsigned f : fitnesses) {
+    pop.push_back(Individual{util::BitVec(36, i++), f});
+  }
+  return pop;
+}
+
+// ---- selection ----
+
+TEST(TournamentSelection, AlwaysPicksBetterAtThreshold255) {
+  const TournamentSelection sel(util::Prob8(255));
+  const Population pop = make_pop({10, 50});
+  util::Xoshiro256 rng(1);
+  // Whenever the two candidates differ, index 1 (fitness 50) must win;
+  // same-candidate draws return that candidate.
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t winner = sel.select(pop, rng);
+    ASSERT_LT(winner, pop.size());
+  }
+  // Statistical check: index 1 wins at least 70% (draws include (0,0)).
+  int ones = 0;
+  for (int i = 0; i < 2000; ++i) ones += sel.select(pop, rng) == 1;
+  EXPECT_GT(ones, 1400);
+}
+
+TEST(TournamentSelection, ThresholdControlsWinRate) {
+  // With threshold t, P(pick the better of a mixed pair) = t.
+  const Population pop = make_pop({0, 100});
+  util::Xoshiro256 rng(2);
+  const TournamentSelection sel(util::Prob8::from_double(0.8));
+  int better = 0;
+  int mixed = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const std::size_t w = sel.select(pop, rng);
+    // Candidates are uniform; a "mixed pair" happened with p = 1/2, and
+    // conditioned on that, w==1 iff the better one won.
+    // Count over all draws: P(w==1) = P(pair {1,1}) + t * P(mixed)
+    //                    = 1/4 + 0.8*1/2 (approx, with t = 205/256).
+    better += w == 1;
+    ++mixed;
+  }
+  const double expected = 0.25 + (205.0 / 256.0) * 0.5;
+  EXPECT_NEAR(static_cast<double>(better) / mixed, expected, 0.01);
+}
+
+TEST(TournamentSelection, EmptyPopulationThrows) {
+  const TournamentSelection sel(util::Prob8(200));
+  Population empty;
+  util::Xoshiro256 rng(3);
+  EXPECT_THROW((void)sel.select(empty, rng), std::invalid_argument);
+}
+
+TEST(RouletteSelection, ProportionalToFitness) {
+  const RouletteSelection sel;
+  const Population pop = make_pop({10, 30, 60});
+  util::Xoshiro256 rng(4);
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 100'000; ++i) ++counts[sel.select(pop, rng)];
+  EXPECT_NEAR(counts[0] / 100'000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 100'000.0, 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / 100'000.0, 0.6, 0.01);
+}
+
+TEST(RouletteSelection, AllZeroFitnessFallsBackToUniform) {
+  const RouletteSelection sel;
+  const Population pop = make_pop({0, 0, 0, 0});
+  util::Xoshiro256 rng(5);
+  std::array<int, 4> counts{};
+  for (int i = 0; i < 40'000; ++i) ++counts[sel.select(pop, rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10'000, 1'000);
+}
+
+TEST(TruncationSelection, OnlyTopFractionSelected) {
+  const TruncationSelection sel(0.25);
+  const Population pop = make_pop({5, 40, 10, 20, 60, 1, 2, 3});
+  util::Xoshiro256 rng(6);
+  std::array<int, 8> counts{};
+  for (int i = 0; i < 10'000; ++i) ++counts[sel.select(pop, rng)];
+  // Top 25% of 8 = the 2 best individuals: indices 4 (60) and 1 (40).
+  EXPECT_GT(counts[4], 0);
+  EXPECT_GT(counts[1], 0);
+  for (std::size_t i : {0u, 2u, 3u, 5u, 6u, 7u}) EXPECT_EQ(counts[i], 0);
+}
+
+TEST(TruncationSelection, RejectsBadFraction) {
+  EXPECT_THROW(TruncationSelection(0.0), std::invalid_argument);
+  EXPECT_THROW(TruncationSelection(1.5), std::invalid_argument);
+}
+
+// ---- crossover ----
+
+TEST(SinglePointCrossover, ChildrenAreValidSplices) {
+  const SinglePointCrossover op;
+  util::Xoshiro256 rng(7);
+  const util::BitVec a(36, 0);
+  util::BitVec b(36);
+  for (std::size_t i = 0; i < 36; ++i) b.set(i, true);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto [c0, c1] = op.apply(a, b, rng);
+    // c0 must be 0...0 then 1...1 (a's head + b's tail), c1 the reverse,
+    // with the same cut; together they partition the bits.
+    std::size_t cut = 0;
+    while (cut < 36 && !c0.get(cut)) ++cut;
+    ASSERT_GE(cut, 1u);
+    ASSERT_LT(cut, 36u);
+    for (std::size_t i = 0; i < 36; ++i) {
+      EXPECT_EQ(c0.get(i), i >= cut);
+      EXPECT_EQ(c1.get(i), i < cut);
+    }
+  }
+}
+
+TEST(SinglePointCrossover, PreservesPerPositionMultiset) {
+  const SinglePointCrossover op;
+  util::Xoshiro256 rng(8);
+  for (int trial = 0; trial < 200; ++trial) {
+    const util::BitVec a = rng.next_bits(36);
+    const util::BitVec b = rng.next_bits(36);
+    auto [c0, c1] = op.apply(a, b, rng);
+    for (std::size_t i = 0; i < 36; ++i) {
+      // At every position the children carry exactly the parents' bits.
+      EXPECT_EQ(static_cast<int>(c0.get(i)) + c1.get(i),
+                static_cast<int>(a.get(i)) + b.get(i));
+    }
+  }
+}
+
+TEST(TwoPointCrossover, SwapsOnlyMiddleSegment) {
+  const TwoPointCrossover op;
+  util::Xoshiro256 rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    const util::BitVec a = rng.next_bits(36);
+    const util::BitVec b = rng.next_bits(36);
+    auto [c0, c1] = op.apply(a, b, rng);
+    // Each child position comes from one parent, consistently paired.
+    for (std::size_t i = 0; i < 36; ++i) {
+      const bool from_a = c0.get(i) == a.get(i) && c1.get(i) == b.get(i);
+      const bool from_b = c0.get(i) == b.get(i) && c1.get(i) == a.get(i);
+      EXPECT_TRUE(from_a || from_b);
+    }
+  }
+}
+
+TEST(UniformCrossover, MixesRoughlyHalf) {
+  const UniformCrossover op;
+  util::Xoshiro256 rng(10);
+  const util::BitVec a(64, 0);
+  util::BitVec b(64);
+  for (std::size_t i = 0; i < 64; ++i) b.set(i, true);
+  std::size_t swapped = 0;
+  constexpr int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    auto [c0, c1] = op.apply(a, b, rng);
+    swapped += c0.popcount();
+    // Complementarity: c1 = ~c0 for these parents.
+    EXPECT_EQ(c0.popcount() + c1.popcount(), 64u);
+  }
+  EXPECT_NEAR(static_cast<double>(swapped) / (64.0 * kTrials), 0.5, 0.05);
+}
+
+TEST(Crossover, MismatchedWidthsThrow) {
+  const SinglePointCrossover op;
+  util::Xoshiro256 rng(11);
+  EXPECT_THROW((void)op.apply(util::BitVec(8), util::BitVec(9), rng),
+               std::invalid_argument);
+}
+
+// ---- mutation ----
+
+TEST(ExactCountMutation, FlipsAtMostKBitsWithMatchingParity) {
+  util::Xoshiro256 rng(12);
+  const ExactCountMutation op(15);
+  for (int trial = 0; trial < 100; ++trial) {
+    Population pop;
+    for (int i = 0; i < 32; ++i) {
+      pop.push_back(Individual{rng.next_bits(36), 0});
+    }
+    const Population before = pop;
+    op.apply(pop, rng);
+    std::size_t flipped = 0;
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+      flipped += pop[i].genome.hamming_distance(before[i].genome);
+    }
+    EXPECT_LE(flipped, 15u);
+    EXPECT_EQ(flipped % 2, 15u % 2);  // double-hits cancel in pairs
+  }
+}
+
+TEST(ExactCountMutation, ZeroCountIsIdentity) {
+  util::Xoshiro256 rng(13);
+  const ExactCountMutation op(0);
+  Population pop = {Individual{rng.next_bits(36), 0}};
+  const Population before = pop;
+  op.apply(pop, rng);
+  EXPECT_EQ(pop[0].genome, before[0].genome);
+}
+
+TEST(PerBitMutation, RateIsRespected) {
+  util::Xoshiro256 rng(14);
+  const PerBitMutation op(util::Prob8::from_double(0.25));
+  std::size_t flipped = 0;
+  constexpr int kTrials = 500;
+  for (int t = 0; t < kTrials; ++t) {
+    Population pop = {Individual{util::BitVec(36), 0}};
+    op.apply(pop, rng);
+    flipped += pop[0].genome.popcount();
+  }
+  EXPECT_NEAR(static_cast<double>(flipped) / (36.0 * kTrials), 0.25, 0.02);
+}
+
+// ---- engine ----
+
+unsigned onemax(const util::BitVec& g) {
+  return static_cast<unsigned>(g.popcount());
+}
+
+TEST(GaEngine, SolvesOneMax) {
+  GaParams params;
+  params.genome_bits = 36;
+  GaEngine engine(params, onemax);
+  util::Xoshiro256 rng(15);
+  const RunResult r = engine.run(rng, 20'000, 36u);
+  EXPECT_TRUE(r.reached_target);
+  EXPECT_EQ(r.best.fitness, 36u);
+  EXPECT_EQ(r.best.genome.popcount(), 36u);
+}
+
+TEST(GaEngine, SolvesGaitProblemWithPaperParameters) {
+  GaEngine engine(GaParams{}, [](const util::BitVec& g) {
+    return fitness::score(g.to_u64());
+  });
+  util::Xoshiro256 rng(16);
+  const RunResult r = engine.run(rng, 50'000, 60u);
+  EXPECT_TRUE(r.reached_target);
+  EXPECT_TRUE(fitness::is_max_fitness(r.best.genome.to_u64()));
+}
+
+TEST(GaEngine, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    GaEngine engine(GaParams{}, [](const util::BitVec& g) {
+      return fitness::score(g.to_u64());
+    });
+    util::Xoshiro256 rng(seed);
+    return engine.run(rng, 50'000, 60u);
+  };
+  const RunResult a = run(99);
+  const RunResult b = run(99);
+  EXPECT_EQ(a.generations, b.generations);
+  EXPECT_EQ(a.best.genome, b.best.genome);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(GaEngine, HistoryTracksBestEverMonotonically) {
+  GaEngine engine(GaParams{}, [](const util::BitVec& g) {
+    return fitness::score(g.to_u64());
+  });
+  util::Xoshiro256 rng(17);
+  const RunResult r = engine.run(rng, 300, std::nullopt, true);
+  ASSERT_FALSE(r.history.empty());
+  unsigned last = 0;
+  for (const auto& gs : r.history) {
+    EXPECT_GE(gs.best_ever_fitness, last);
+    EXPECT_LE(gs.worst_fitness, gs.best_fitness);
+    EXPECT_GE(gs.mean_fitness, gs.worst_fitness);
+    EXPECT_LE(gs.mean_fitness, gs.best_fitness);
+    last = gs.best_ever_fitness;
+  }
+}
+
+TEST(GaEngine, ElitismKeepsBestInPopulation) {
+  GaParams params;
+  params.elitism = true;
+  GaEngine engine(params, onemax);
+  util::Xoshiro256 rng(18);
+  Population pop = engine.make_initial_population(rng);
+  for (int gen = 0; gen < 50; ++gen) {
+    unsigned best_before = 0;
+    for (const auto& ind : pop) best_before = std::max(best_before, ind.fitness);
+    engine.step_generation(pop, rng);
+    unsigned best_after = 0;
+    for (const auto& ind : pop) best_after = std::max(best_after, ind.fitness);
+    EXPECT_GE(best_after, best_before);
+  }
+}
+
+TEST(GaEngine, PopulationSizeIsStable) {
+  GaEngine engine(GaParams{}, onemax);
+  util::Xoshiro256 rng(19);
+  Population pop = engine.make_initial_population(rng);
+  EXPECT_EQ(pop.size(), 32u);
+  engine.step_generation(pop, rng);
+  EXPECT_EQ(pop.size(), 32u);
+}
+
+TEST(GaEngine, RejectsBadParameters) {
+  GaParams odd;
+  odd.population_size = 7;
+  EXPECT_THROW(GaEngine(odd, onemax), std::invalid_argument);
+  GaParams tiny;
+  tiny.genome_bits = 1;
+  EXPECT_THROW(GaEngine(tiny, onemax), std::invalid_argument);
+  EXPECT_THROW(GaEngine(GaParams{}, FitnessFn{}), std::invalid_argument);
+}
+
+TEST(GaEngine, OperatorInjectionRejectsNull) {
+  GaEngine engine(GaParams{}, onemax);
+  EXPECT_THROW(engine.set_selection(nullptr), std::invalid_argument);
+  EXPECT_THROW(engine.set_crossover(nullptr), std::invalid_argument);
+  EXPECT_THROW(engine.set_mutation(nullptr), std::invalid_argument);
+}
+
+TEST(GaEngine, AlternativeOperatorsStillConverge) {
+  GaEngine engine(GaParams{}, [](const util::BitVec& g) {
+    return fitness::score(g.to_u64());
+  });
+  engine.set_selection(std::make_unique<TruncationSelection>(0.5));
+  engine.set_crossover(std::make_unique<UniformCrossover>());
+  engine.set_mutation(std::make_unique<PerBitMutation>(
+      util::Prob8::from_double(0.02)));
+  util::Xoshiro256 rng(20);
+  const RunResult r = engine.run(rng, 50'000, 60u);
+  EXPECT_TRUE(r.reached_target);
+}
+
+// ---- diversity ----
+
+TEST(Diversity, IdenticalPopulationIsZero) {
+  Population pop;
+  for (int i = 0; i < 8; ++i) pop.push_back(Individual{util::BitVec(36, 5), 0});
+  EXPECT_DOUBLE_EQ(mean_pairwise_hamming(pop), 0.0);
+  EXPECT_DOUBLE_EQ(mean_bit_entropy(pop), 0.0);
+}
+
+TEST(Diversity, TwoComplementaryGenomes) {
+  Population pop;
+  util::BitVec a(36, 0);
+  util::BitVec b(36);
+  for (std::size_t i = 0; i < 36; ++i) b.set(i, true);
+  pop.push_back(Individual{a, 0});
+  pop.push_back(Individual{b, 0});
+  EXPECT_DOUBLE_EQ(mean_pairwise_hamming(pop), 36.0);
+  EXPECT_DOUBLE_EQ(mean_bit_entropy(pop), 1.0);
+}
+
+TEST(Diversity, UniformRandomPopulationNearHalfWidth) {
+  util::Xoshiro256 rng(22);
+  Population pop;
+  for (int i = 0; i < 64; ++i) pop.push_back(Individual{rng.next_bits(36), 0});
+  EXPECT_NEAR(mean_pairwise_hamming(pop), 18.0, 2.0);
+  EXPECT_GT(mean_bit_entropy(pop), 0.8);
+}
+
+TEST(Diversity, EdgeCases) {
+  EXPECT_DOUBLE_EQ(mean_pairwise_hamming({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_bit_entropy({}), 0.0);
+  Population one = {Individual{util::BitVec(36, 1), 0}};
+  EXPECT_DOUBLE_EQ(mean_pairwise_hamming(one), 0.0);
+}
+
+TEST(Diversity, MutationSustainsDiversityUnderSelection) {
+  // The GAP's design point: without mutation, selection+crossover drive
+  // the population toward genotypic collapse; 15 flips/generation keep a
+  // diversity floor. Run past convergence and compare.
+  auto final_diversity = [](unsigned mutations) {
+    GaParams params;
+    params.mutations_per_generation = mutations;
+    GaEngine engine(params, [](const util::BitVec& g) {
+      return fitness::score(g.to_u64());
+    });
+    util::Xoshiro256 rng(33);
+    Population pop = engine.make_initial_population(rng);
+    for (int gen = 0; gen < 300; ++gen) engine.step_generation(pop, rng);
+    return mean_pairwise_hamming(pop);
+  };
+  const double with_mutation = final_diversity(15);
+  const double without_mutation = final_diversity(0);
+  EXPECT_LT(without_mutation, 0.5);  // collapsed
+  EXPECT_GT(with_mutation, 1.0);     // sustained
+}
+
+TEST(Diversity, RecordedInHistory) {
+  GaEngine engine(GaParams{}, [](const util::BitVec& g) {
+    return fitness::score(g.to_u64());
+  });
+  util::Xoshiro256 rng(44);
+  const RunResult r = engine.run(rng, 50, std::nullopt, true);
+  ASSERT_FALSE(r.history.empty());
+  EXPECT_GT(r.history.front().diversity, 10.0);  // random start: ~width/2
+}
+
+}  // namespace
+}  // namespace leo::ga

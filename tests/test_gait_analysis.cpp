@@ -1,0 +1,121 @@
+// Tests for the gait classification and descriptors.
+#include "genome/gait_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fitness/rules.hpp"
+#include "genome/known_gaits.hpp"
+#include "util/rng.hpp"
+
+namespace leo::genome {
+namespace {
+
+TEST(GaitAnalysis, TripodIsClassifiedAsTripod) {
+  const GaitProfile p = analyze(tripod_gait());
+  EXPECT_EQ(p.cls, GaitClass::kTripod);
+  EXPECT_EQ(p.swing_count[0], 3u);
+  EXPECT_EQ(p.swing_count[1], 3u);
+  EXPECT_EQ(p.locomoting_legs, 6u);
+  EXPECT_EQ(p.conflicting_legs, 0u);
+  EXPECT_TRUE(p.steps_mirrored);
+  // Planted 4 of 6 micro-phases: classic 2/3 duty factor.
+  EXPECT_NEAR(p.duty_factor, 2.0 / 3.0, 1e-12);
+}
+
+TEST(GaitAnalysis, MirroredTripodSameProfile) {
+  const GaitProfile a = analyze(tripod_gait());
+  const GaitProfile b = analyze(tripod_gait_mirrored());
+  EXPECT_EQ(a.cls, b.cls);
+  EXPECT_EQ(a.duty_factor, b.duty_factor);
+}
+
+TEST(GaitAnalysis, AllZeroIsStationary) {
+  const GaitProfile p = analyze(all_zero_gait());
+  EXPECT_EQ(p.cls, GaitClass::kStationary);
+  EXPECT_EQ(p.locomoting_legs, 0u);
+  EXPECT_EQ(p.conflicting_legs, 6u);
+  EXPECT_NEAR(p.duty_factor, 1.0, 1e-12);
+}
+
+TEST(GaitAnalysis, PronkingIsUnstable) {
+  const GaitProfile p = analyze(pronking_gait());
+  EXPECT_EQ(p.cls, GaitClass::kUnstable);
+  EXPECT_EQ(p.swing_count[0], 6u);
+}
+
+TEST(GaitAnalysis, OneSideLiftedIsUnstable) {
+  const GaitProfile p = analyze(one_side_lifted_gait());
+  EXPECT_EQ(p.cls, GaitClass::kUnstable);
+  EXPECT_EQ(p.swing_left[0], 3u);
+}
+
+TEST(GaitAnalysis, ReverseTripodConflictsEverywhere) {
+  // The reverse tripod's genes are incoherent under the forward-walking
+  // convention (swing backward in the air): no locomoting legs.
+  const GaitProfile p = analyze(reverse_tripod_gait());
+  EXPECT_EQ(p.locomoting_legs, 0u);
+  EXPECT_EQ(p.conflicting_legs, 6u);
+}
+
+TEST(GaitAnalysis, TetrapodPattern) {
+  // 2 legs swing per step: build a coherent 2+2 pattern (legs 0,3 swing
+  // step 0; legs 1,4 swing step 1; legs 2,5 propel both steps -> those
+  // two conflict).
+  GaitGenome g;
+  const LegGene swing{true, true, false};
+  const LegGene stance{false, false, false};
+  for (std::size_t leg : {0u, 3u}) {
+    g.gene(0, leg) = swing;
+    g.gene(1, leg) = stance;
+  }
+  for (std::size_t leg : {1u, 4u}) {
+    g.gene(0, leg) = stance;
+    g.gene(1, leg) = swing;
+  }
+  for (std::size_t leg : {2u, 5u}) {
+    g.gene(0, leg) = stance;
+    g.gene(1, leg) = stance;
+  }
+  const GaitProfile p = analyze(g);
+  EXPECT_EQ(p.cls, GaitClass::kTetrapod);
+  EXPECT_EQ(p.locomoting_legs, 4u);
+  EXPECT_EQ(p.swing_count[0], 2u);
+}
+
+TEST(GaitAnalysis, MaxFitnessGenomesNeverClassifyUnstable) {
+  // R1 = 0 forbids full-side lifts, which is exactly the kUnstable
+  // trigger for 3-per-side; 6-up is also excluded.
+  util::Xoshiro256 rng(9);
+  int found = 0;
+  while (found < 50) {
+    GaitGenome g = GaitGenome::from_bits(rng.next_u64() & kGenomeMask);
+    for (std::size_t leg = 0; leg < 6; ++leg) {
+      g.gene(0, leg).lift_first = g.gene(0, leg).forward;
+      g.gene(1, leg).forward = !g.gene(0, leg).forward;
+      g.gene(1, leg).lift_first = g.gene(1, leg).forward;
+    }
+    if (!fitness::is_max_fitness(g.to_bits())) continue;
+    ++found;
+    const GaitProfile p = analyze(g);
+    EXPECT_NE(p.cls, GaitClass::kUnstable) << g.describe();
+    EXPECT_NE(p.cls, GaitClass::kStationary) << g.describe();
+    EXPECT_EQ(p.locomoting_legs, 6u) << g.describe();
+  }
+}
+
+TEST(GaitAnalysis, DescribeMentionsClass) {
+  const std::string text = analyze(tripod_gait()).describe();
+  EXPECT_NE(text.find("tripod"), std::string::npos);
+  EXPECT_NE(text.find("6 locomoting"), std::string::npos);
+}
+
+TEST(GaitAnalysis, ToStringCoversAllClasses) {
+  EXPECT_STREQ(to_string(GaitClass::kStationary), "stationary");
+  EXPECT_STREQ(to_string(GaitClass::kTripod), "tripod");
+  EXPECT_STREQ(to_string(GaitClass::kTetrapod), "tetrapod");
+  EXPECT_STREQ(to_string(GaitClass::kAsymmetric), "asymmetric");
+  EXPECT_STREQ(to_string(GaitClass::kUnstable), "unstable");
+}
+
+}  // namespace
+}  // namespace leo::genome

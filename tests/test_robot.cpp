@@ -1,0 +1,390 @@
+// Tests for the Leonardo robot model: kinematics, stability, terrain,
+// sensors and the quasi-static walker.
+#include "robot/walker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fitness/rules.hpp"
+#include "genome/known_gaits.hpp"
+#include "robot/kinematics.hpp"
+#include "robot/stability.hpp"
+#include "robot/terrain.hpp"
+#include "util/rng.hpp"
+
+namespace leo::robot {
+namespace {
+
+// ---- kinematics ----
+
+TEST(Kinematics, PaperGeometry) {
+  EXPECT_DOUBLE_EQ(kLeonardoConfig.body_length_m, 0.240);
+  EXPECT_DOUBLE_EQ(kLeonardoConfig.body_width_m, 0.200);
+  EXPECT_DOUBLE_EQ(kLeonardoConfig.mass_kg, 1.0);
+}
+
+TEST(Kinematics, HipsAreMirroredLeftRight) {
+  for (std::size_t leg = 0; leg < 3; ++leg) {
+    const Vec2 left = kLeonardoConfig.hip_position(leg);
+    const Vec2 right = kLeonardoConfig.hip_position(leg + 3);
+    EXPECT_DOUBLE_EQ(left.x, right.x);
+    EXPECT_DOUBLE_EQ(left.y, -right.y);
+    EXPECT_GT(left.y, 0.0);
+  }
+}
+
+TEST(Kinematics, FootSweepMovesAlongBodyAxis) {
+  const LegKinematics kin(kLeonardoConfig);
+  const FootPosition aft = kin.foot_body_frame(0, -1.0, false);
+  const FootPosition fore = kin.foot_body_frame(0, 1.0, false);
+  EXPECT_NEAR(fore.xy.x - aft.xy.x, kLeonardoConfig.stride_m, 1e-12);
+  EXPECT_DOUBLE_EQ(fore.xy.y, aft.xy.y);
+}
+
+TEST(Kinematics, RaisedFootHasClearance) {
+  const LegKinematics kin(kLeonardoConfig);
+  EXPECT_DOUBLE_EQ(kin.foot_body_frame(2, 0.0, true).z,
+                   kLeonardoConfig.step_height_m);
+  EXPECT_DOUBLE_EQ(kin.foot_body_frame(2, 0.0, false).z, 0.0);
+}
+
+TEST(Kinematics, InvalidInputsThrow) {
+  const LegKinematics kin(kLeonardoConfig);
+  EXPECT_THROW((void)kin.foot_body_frame(6, 0.0, false), std::out_of_range);
+  EXPECT_THROW((void)kin.foot_body_frame(0, 1.5, false),
+               std::invalid_argument);
+}
+
+TEST(Kinematics, WorldFrameAppliesHeading) {
+  const LegKinematics kin(kLeonardoConfig);
+  const FootPosition bf = kin.foot_body_frame(0, 0.0, false);
+  BodyPose body;
+  body.position = {1.0, 2.0};
+  body.heading = M_PI / 2.0;  // facing +y
+  const FootPosition wf = kin.foot_world_frame(0, bf, body, 0.0);
+  EXPECT_NEAR(wf.xy.x, 1.0 - bf.xy.y, 1e-12);
+  EXPECT_NEAR(wf.xy.y, 2.0 + bf.xy.x, 1e-12);
+}
+
+TEST(Kinematics, RearLegsRideArticulatedSegment) {
+  const LegKinematics kin(kLeonardoConfig);
+  const FootPosition bf = kin.foot_body_frame(2, 0.0, false);
+  const BodyPose body;
+  const FootPosition straight = kin.foot_world_frame(2, bf, body, 0.0);
+  const FootPosition bent = kin.foot_world_frame(2, bf, body, 0.3);
+  EXPECT_GT(std::hypot(bent.xy.x - straight.xy.x, bent.xy.y - straight.xy.y),
+            0.01);
+  // Front legs are unaffected by articulation.
+  const FootPosition front_bf = kin.foot_body_frame(0, 0.0, false);
+  const FootPosition f0 = kin.foot_world_frame(0, front_bf, body, 0.0);
+  const FootPosition f1 = kin.foot_world_frame(0, front_bf, body, 0.3);
+  EXPECT_DOUBLE_EQ(f0.xy.x, f1.xy.x);
+  EXPECT_DOUBLE_EQ(f0.xy.y, f1.xy.y);
+}
+
+// ---- stability ----
+
+TEST(Stability, ConvexHullOfSquare) {
+  const auto hull = convex_hull(
+      {{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}, {0.2, 0.8}});
+  EXPECT_EQ(hull.size(), 4u);
+}
+
+TEST(Stability, MarginInsideUnitSquare) {
+  const std::vector<Vec2> square = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  EXPECT_NEAR(support_margin(square, {0.5, 0.5}), 0.5, 1e-12);
+  EXPECT_NEAR(support_margin(square, {0.1, 0.5}), 0.1, 1e-12);
+}
+
+TEST(Stability, MarginOutsideIsNegative) {
+  const std::vector<Vec2> square = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  EXPECT_NEAR(support_margin(square, {2.0, 0.5}), -1.0, 1e-12);
+  EXPECT_FALSE(is_statically_stable(square, {2.0, 0.5}));
+  EXPECT_TRUE(is_statically_stable(square, {0.5, 0.5}, 0.4));
+  EXPECT_FALSE(is_statically_stable(square, {0.5, 0.5}, 0.6));
+}
+
+TEST(Stability, DegenerateSupports) {
+  // Two feet: a line can never contain the CoM strictly.
+  EXPECT_LT(support_margin({{0, 0}, {1, 0}}, {0.5, 0.0}), 1e-12);
+  EXPECT_LT(support_margin({{0, 0}, {1, 0}}, {0.5, 0.3}), 0.0);
+  // One foot / no feet.
+  EXPECT_LT(support_margin({{0, 0}}, {0, 1}), 0.0);
+  EXPECT_EQ(support_margin({}, {0, 0}),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(Stability, CollinearPointsHandled) {
+  const auto hull = convex_hull({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  EXPECT_EQ(hull.size(), 2u);
+}
+
+// ---- terrain & sensors ----
+
+TEST(Terrain, HeightQueries) {
+  Terrain t;
+  t.add_obstacle({{1, -1}, {2, 1}, 0.05});
+  EXPECT_DOUBLE_EQ(t.height_at({0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(t.height_at({1.5, 0}), 0.05);
+}
+
+TEST(Terrain, BlockingObstacleDetectsSideHit) {
+  Terrain t;
+  t.add_obstacle({{1, -1}, {2, 1}, 0.2});
+  // Foot sweeping into the face at low height: blocked.
+  EXPECT_TRUE(t.blocking_obstacle({0.9, 0}, {1.1, 0}, 0.0).has_value());
+  // Foot above the top clears it.
+  EXPECT_FALSE(t.blocking_obstacle({0.9, 0}, {1.1, 0}, 0.25).has_value());
+  // Motion entirely outside.
+  EXPECT_FALSE(t.blocking_obstacle({0.0, 0}, {0.5, 0}, 0.0).has_value());
+}
+
+TEST(Terrain, MalformedObstacleThrows) {
+  Terrain t;
+  EXPECT_THROW(t.add_obstacle({{2, 0}, {1, 1}, 0.1}), std::invalid_argument);
+  EXPECT_THROW(t.add_obstacle({{0, 0}, {1, 1}, 0.0}), std::invalid_argument);
+}
+
+TEST(Sensors, GroundContact) {
+  const Terrain t = flat_terrain();
+  EXPECT_TRUE(ground_contact(t, {0, 0}, 0.0));
+  EXPECT_FALSE(ground_contact(t, {0, 0}, 0.01));
+}
+
+// ---- walker ----
+
+TEST(Walker, TripodReachesIdealDistance) {
+  Walker w(kLeonardoConfig, flat_terrain());
+  const WalkMetrics m = w.walk(genome::tripod_gait(), 10);
+  EXPECT_EQ(m.falls, 0u);
+  EXPECT_NEAR(m.distance_forward_m, w.ideal_distance(10), 1e-9);
+  EXPECT_DOUBLE_EQ(m.slip_m, 0.0);
+  EXPECT_GT(m.min_margin_m, 0.0);
+  EXPECT_NEAR(m.quality(w.ideal_distance(10)), 1.0, 1e-9);
+}
+
+TEST(Walker, MirroredTripodEquallyGood) {
+  Walker w(kLeonardoConfig, flat_terrain());
+  const WalkMetrics a = w.walk(genome::tripod_gait(), 10);
+  const WalkMetrics b = w.walk(genome::tripod_gait_mirrored(), 10);
+  EXPECT_NEAR(a.distance_forward_m, b.distance_forward_m, 1e-9);
+}
+
+TEST(Walker, AllZeroGaitGoesNowhere) {
+  Walker w(kLeonardoConfig, flat_terrain());
+  const WalkMetrics m = w.walk(genome::all_zero_gait(), 10);
+  EXPECT_EQ(m.falls, 0u);
+  EXPECT_DOUBLE_EQ(m.distance_forward_m, 0.0);
+}
+
+TEST(Walker, PronkingFallsEveryCycle) {
+  Walker w(kLeonardoConfig, flat_terrain());
+  const WalkMetrics m = w.walk(genome::pronking_gait(), 10);
+  // All six legs airborne in step 0's sweep: one fall per cycle at least,
+  // and the fall phases gain no ground (so it cannot reach the ideal).
+  EXPECT_GE(m.falls, 10u);
+  EXPECT_LT(m.distance_forward_m, w.ideal_distance(10));
+  EXPECT_EQ(m.quality(w.ideal_distance(10)), 0.0);
+}
+
+TEST(Walker, OneSideLiftedFallsOver) {
+  // The paper's own R1 example: a whole side airborne leaves a collinear
+  // support far from the CoM — an unambiguous fall, and fall phases gain
+  // no ground.
+  Walker w(kLeonardoConfig, flat_terrain());
+  const WalkMetrics m = w.walk(genome::one_side_lifted_gait(), 10);
+  EXPECT_GT(m.falls, 0u);
+  EXPECT_DOUBLE_EQ(m.distance_forward_m, 0.0);
+}
+
+TEST(Walker, StumbleIsDistinctFromFall) {
+  // Tripod timing but with an extra front leg raised in step 0: support
+  // becomes the rear triangle, the CoM pokes slightly outside, and the
+  // robot stumbles (recoverable) rather than falls.
+  genome::GaitGenome g = genome::tripod_gait();
+  g.gene(0, 3).lift_first = true;  // R-front joins tripod A's swing
+  g.gene(0, 3).forward = true;
+  g.gene(1, 3).forward = false;
+  g.gene(1, 3).lift_first = false;
+  Walker w(kLeonardoConfig, flat_terrain());
+  const WalkMetrics m = w.walk(g, 10);
+  EXPECT_GT(m.stumbles, 0u);
+  EXPECT_LT(m.min_margin_m, 0.0);
+  EXPECT_GE(m.min_margin_m, -kLeonardoConfig.fall_margin_m);
+}
+
+TEST(Walker, ReverseTripodWalksBackwards) {
+  Walker w(kLeonardoConfig, flat_terrain());
+  const WalkMetrics m = w.walk(genome::reverse_tripod_gait(), 10);
+  EXPECT_EQ(m.falls, 0u);
+  EXPECT_LT(m.distance_forward_m, -0.5);
+}
+
+TEST(Walker, Deterministic) {
+  Walker w(kLeonardoConfig, flat_terrain());
+  const WalkMetrics a = w.walk(genome::tripod_gait(), 5);
+  const WalkMetrics b = w.walk(genome::tripod_gait(), 5);
+  EXPECT_DOUBLE_EQ(a.distance_forward_m, b.distance_forward_m);
+  EXPECT_EQ(a.falls, b.falls);
+}
+
+TEST(Walker, ArticulationSteersHeading) {
+  Walker left(kLeonardoConfig, flat_terrain());
+  left.set_articulation(kLeonardoConfig.articulation_limit_rad);
+  const WalkMetrics ml = left.walk(genome::tripod_gait(), 10);
+  EXPECT_GT(ml.net_heading_rad, 0.05);
+
+  Walker right(kLeonardoConfig, flat_terrain());
+  right.set_articulation(-kLeonardoConfig.articulation_limit_rad);
+  const WalkMetrics mr = right.walk(genome::tripod_gait(), 10);
+  EXPECT_LT(mr.net_heading_rad, -0.05);
+
+  Walker straight(kLeonardoConfig, flat_terrain());
+  const WalkMetrics ms = straight.walk(genome::tripod_gait(), 10);
+  EXPECT_DOUBLE_EQ(ms.net_heading_rad, 0.0);
+}
+
+TEST(Walker, ArticulationClampedToLimit) {
+  Walker w(kLeonardoConfig, flat_terrain());
+  w.set_articulation(10.0);
+  EXPECT_DOUBLE_EQ(w.articulation(), kLeonardoConfig.articulation_limit_rad);
+}
+
+TEST(Walker, WallBlocksProgressAndTripsSensors) {
+  Walker w(kLeonardoConfig, wall_ahead_terrain(0.3));
+  const WalkMetrics m = w.walk(genome::tripod_gait(), 20);
+  // The wall is 0.3 m ahead; the nose starts at +0.12, so less than
+  // ~0.18 m of progress is possible.
+  EXPECT_LT(m.distance_forward_m, 0.19);
+  EXPECT_GT(m.obstacle_hits, 0u);
+}
+
+TEST(Walker, ContinueWalkAccumulatesAcrossCalls) {
+  Walker w(kLeonardoConfig, flat_terrain());
+  const WalkMetrics whole = w.walk(genome::tripod_gait(), 6);
+  w.reset();
+  double piecewise = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    piecewise += w.continue_walk(genome::tripod_gait(), 1).distance_forward_m;
+  }
+  EXPECT_NEAR(piecewise, whole.distance_forward_m, 1e-12);
+  EXPECT_NEAR(w.body().position.x, whole.distance_forward_m, 1e-12);
+}
+
+TEST(Walker, ResetReturnsToOrigin) {
+  Walker w(kLeonardoConfig, flat_terrain());
+  (void)w.walk(genome::tripod_gait(), 3);
+  EXPECT_GT(w.body().position.x, 0.0);
+  w.reset();
+  EXPECT_DOUBLE_EQ(w.body().position.x, 0.0);
+  for (const auto& leg : w.legs()) {
+    EXPECT_FALSE(leg.raised);
+    EXPECT_FALSE(leg.fore);
+  }
+}
+
+TEST(Walker, ApplyPoseMatchesGenomeExecution) {
+  // Feeding the genome's own micro-phase targets through apply_pose must
+  // reproduce walk()'s displacement exactly (the co-simulation contract).
+  Walker by_genome(kLeonardoConfig, flat_terrain());
+  const WalkMetrics ref = by_genome.walk(genome::tripod_gait(), 4);
+
+  Walker by_pose(kLeonardoConfig, flat_terrain());
+  const genome::GaitGenome g = genome::tripod_gait();
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    for (std::size_t phase = 0; phase < 6; ++phase) {
+      auto targets = by_pose.legs();
+      const std::size_t step = genome::phase_step(phase);
+      for (std::size_t leg = 0; leg < kNumLegs; ++leg) {
+        switch (genome::phase_kind(phase)) {
+          case genome::PhaseKind::kVerticalFirst:
+            targets[leg].raised = g.gene(step, leg).lift_first;
+            break;
+          case genome::PhaseKind::kHorizontal:
+            targets[leg].fore = g.gene(step, leg).forward;
+            break;
+          case genome::PhaseKind::kVerticalLast:
+            targets[leg].raised = g.gene(step, leg).lift_last;
+            break;
+        }
+      }
+      (void)by_pose.apply_pose(targets);
+    }
+  }
+  EXPECT_NEAR(by_pose.body().position.x, ref.distance_forward_m, 1e-12);
+}
+
+TEST(Walker, ObserverSeesEveryPhase) {
+  Walker w(kLeonardoConfig, flat_terrain());
+  std::size_t snapshots = 0;
+  double last_x = -1.0;
+  w.walk(genome::tripod_gait(), 3, [&](const PhaseSnapshot& s) {
+    ++snapshots;
+    EXPECT_LT(s.phase, 6u);
+    EXPECT_GE(s.body.position.x, last_x);  // tripod never moves backwards
+    last_x = s.body.position.x;
+  });
+  EXPECT_EQ(snapshots, 3u * 6u);
+}
+
+/// Property (E4): every max-fitness genome propels the robot forward with
+/// zero slip — coherence + symmetry force alternating clean propulsion.
+/// Stability is NOT guaranteed (the paper's rules bound per-side lifts,
+/// not the total), so falls are allowed here; the E4 bench quantifies how
+/// often they happen.
+TEST(Walker, RandomMaxFitnessGenomesAlwaysAdvanceWithoutSlip) {
+  util::Xoshiro256 rng(55);
+  Walker w(kLeonardoConfig, flat_terrain());
+  int found = 0;
+  double quality_sum = 0.0;
+  while (found < 25) {
+    // Draw coherent+symmetric genomes and keep the equilibrium-clean ones.
+    genome::GaitGenome g =
+        genome::GaitGenome::from_bits(rng.next_u64() & genome::kGenomeMask);
+    for (std::size_t leg = 0; leg < 6; ++leg) {
+      g.gene(0, leg).lift_first = g.gene(0, leg).forward;
+      g.gene(1, leg).forward = !g.gene(0, leg).forward;
+      g.gene(1, leg).lift_first = g.gene(1, leg).forward;
+    }
+    if (!fitness::is_max_fitness(g.to_bits())) continue;
+    ++found;
+    const WalkMetrics m = w.walk(g, 10);
+    EXPECT_GT(m.distance_forward_m, 0.0) << g.describe();
+    EXPECT_DOUBLE_EQ(m.slip_m, 0.0) << g.describe();
+    quality_sum += m.quality(w.ideal_distance(10));
+  }
+  // In aggregate the rule optima walk decently (measured mean ~0.46 over
+  // the full set; this small fixed-seed sample must clear a loose bar).
+  EXPECT_GT(quality_sum / found, 0.2);
+}
+
+/// The R4-extended spec (support rule) confines optima to >= 3 stance
+/// feet in every settled pose; its optima never lose ground to falls
+/// caused by lifted-leg count (geometry-induced stumbles remain).
+TEST(Walker, SupportRuleOptimaKeepAtLeastThreeStanceFeet) {
+  fitness::FitnessSpec spec;
+  spec.use_support = true;
+  util::Xoshiro256 rng(56);
+  int found = 0;
+  while (found < 25) {
+    genome::GaitGenome g =
+        genome::GaitGenome::from_bits(rng.next_u64() & genome::kGenomeMask);
+    for (std::size_t leg = 0; leg < 6; ++leg) {
+      g.gene(0, leg).lift_first = g.gene(0, leg).forward;
+      g.gene(1, leg).forward = !g.gene(0, leg).forward;
+      g.gene(1, leg).lift_first = g.gene(1, leg).forward;
+    }
+    if (fitness::score(g.to_bits(), spec) != spec.max_score()) continue;
+    ++found;
+    const genome::PhaseTable table(g);
+    for (std::size_t phase = 0; phase < genome::kPhasesPerCycle; ++phase) {
+      const unsigned raised = table.raised_on_side(phase, true) +
+                              table.raised_on_side(phase, false);
+      EXPECT_LE(raised, 3u) << "phase " << phase << "\n" << g.describe();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace leo::robot

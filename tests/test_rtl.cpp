@@ -1,0 +1,280 @@
+// Tests for the RTL simulation kernel: wires, registers, two-phase clock
+// semantics, combinational settle, synchronous RAM and VCD tracing.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "rtl/module.hpp"
+#include "rtl/net.hpp"
+#include "rtl/ram.hpp"
+#include "rtl/simulator.hpp"
+#include "rtl/vcd.hpp"
+
+namespace leo::rtl {
+namespace {
+
+/// Two registers that swap values every cycle — only correct under true
+/// two-phase (simultaneous) register update.
+class Swapper final : public Module {
+ public:
+  explicit Swapper(Module* parent) : Module(parent, "swapper"),
+        a(this, "a", 8, 1), b(this, "b", 8, 2) {}
+  Reg<std::uint8_t> a;
+  Reg<std::uint8_t> b;
+  void clock_edge() override {
+    a.set_next(b.read());
+    b.set_next(a.read());
+  }
+};
+
+TEST(RtlKernel, TwoPhaseRegisterSwap) {
+  Swapper top(nullptr);
+  Simulator sim(top);
+  EXPECT_EQ(top.a.read(), 1);
+  EXPECT_EQ(top.b.read(), 2);
+  sim.step();
+  EXPECT_EQ(top.a.read(), 2);
+  EXPECT_EQ(top.b.read(), 1);
+  sim.step();
+  EXPECT_EQ(top.a.read(), 1);
+  EXPECT_EQ(top.b.read(), 2);
+}
+
+/// counter -> comb double -> comb +1 chain exercises the settle loop.
+class CombChain final : public Module {
+ public:
+  explicit CombChain(Module* parent)
+      : Module(parent, "chain"), count(this, "count", 8),
+        twice(this, "twice", 8), plus1(this, "plus1", 8) {}
+  Reg<std::uint8_t> count;
+  Wire<std::uint8_t> twice;
+  Wire<std::uint8_t> plus1;
+  void evaluate() override {
+    twice.write(static_cast<std::uint8_t>(count.read() * 2));
+    plus1.write(static_cast<std::uint8_t>(twice.read() + 1));
+  }
+  void clock_edge() override {
+    count.set_next(static_cast<std::uint8_t>(count.read() + 1));
+  }
+};
+
+TEST(RtlKernel, CombinationalChainSettles) {
+  CombChain top(nullptr);
+  Simulator sim(top);
+  EXPECT_EQ(top.plus1.read(), 1);
+  sim.step();
+  EXPECT_EQ(top.twice.read(), 2);
+  EXPECT_EQ(top.plus1.read(), 3);
+  sim.run(9);
+  EXPECT_EQ(top.count.read(), 10);
+  EXPECT_EQ(top.plus1.read(), 21);
+}
+
+/// A genuine combinational loop (inverter feeding itself) must be caught.
+class Oscillator final : public Module {
+ public:
+  explicit Oscillator(Module* parent)
+      : Module(parent, "osc"), x(this, "x", 1) {}
+  Wire<bool> x;
+  void evaluate() override { x.write(!x.read()); }
+};
+
+TEST(RtlKernel, CombinationalLoopDetected) {
+  Oscillator top(nullptr);
+  try {
+    Simulator sim(top);
+    FAIL() << "loop not detected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("osc.x"), std::string::npos);
+  }
+}
+
+TEST(RtlKernel, IntraPassDefaultThenOverrideIsNotALoop) {
+  // evaluate() writing a default then overriding it in the same pass must
+  // not be mistaken for oscillation.
+  class DefaultOverride final : public Module {
+   public:
+    explicit DefaultOverride(Module* parent)
+        : Module(parent, "dov"), w(this, "w", 1) {}
+    Wire<bool> w;
+    void evaluate() override {
+      w.write(false);
+      w.write(true);
+    }
+  };
+  DefaultOverride top(nullptr);
+  Simulator sim(top);  // must not throw
+  EXPECT_TRUE(top.w.read());
+}
+
+TEST(RtlKernel, ResetRestoresInitialState) {
+  CombChain top(nullptr);
+  Simulator sim(top);
+  sim.run(5);
+  EXPECT_EQ(sim.cycles(), 5u);
+  sim.reset();
+  EXPECT_EQ(sim.cycles(), 0u);
+  EXPECT_EQ(top.count.read(), 0);
+  EXPECT_EQ(top.plus1.read(), 1);
+}
+
+TEST(RtlKernel, RegHoldsWithoutSetNext) {
+  class Holder final : public Module {
+   public:
+    explicit Holder(Module* parent)
+        : Module(parent, "h"), r(this, "r", 8, 7) {}
+    Reg<std::uint8_t> r;
+  };
+  Holder top(nullptr);
+  Simulator sim(top);
+  sim.run(3);
+  EXPECT_EQ(top.r.read(), 7);
+}
+
+TEST(RtlKernel, RegMasksToWidth) {
+  class Narrow final : public Module {
+   public:
+    explicit Narrow(Module* parent)
+        : Module(parent, "n"), r(this, "r", 3) {}
+    Reg<std::uint8_t> r;
+    void clock_edge() override { r.set_next(0xFF); }
+  };
+  Narrow top(nullptr);
+  Simulator sim(top);
+  sim.step();
+  EXPECT_EQ(top.r.read(), 7);
+}
+
+TEST(RtlKernel, WireWidthValidation) {
+  class Bad final : public Module {
+   public:
+    explicit Bad(Module* parent) : Module(parent, "bad") {
+      new Wire<std::uint64_t>(this, "w", 65);  // must throw before leaking
+    }
+  };
+  EXPECT_THROW(Bad(nullptr), std::invalid_argument);
+}
+
+TEST(RtlKernel, RunUntilStopsEarly) {
+  CombChain top(nullptr);
+  Simulator sim(top);
+  const bool hit =
+      sim.run_until([&] { return top.count.read() == 4; }, 100);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(sim.cycles(), 4u);
+  const bool miss = sim.run_until([&] { return false; }, 10);
+  EXPECT_FALSE(miss);
+  EXPECT_EQ(sim.cycles(), 14u);
+}
+
+TEST(RtlKernel, HierarchyAndNames) {
+  class Child final : public Module {
+   public:
+    explicit Child(Module* parent)
+        : Module(parent, "child"), w(this, "w", 1) {}
+    Wire<bool> w;
+  };
+  class Parent final : public Module {
+   public:
+    explicit Parent() : Module(nullptr, "parent"), kid(this) {}
+    Child kid;
+  };
+  Parent top;
+  EXPECT_EQ(top.kid.full_name(), "parent.child");
+  EXPECT_EQ(top.kid.w.full_name(), "parent.child.w");
+  EXPECT_EQ(top.children().size(), 1u);
+  const std::string report = top.hierarchy_report();
+  EXPECT_NE(report.find("parent"), std::string::npos);
+  EXPECT_NE(report.find("child"), std::string::npos);
+}
+
+TEST(RtlKernel, ResourceTallyCountsRegisterBits) {
+  Swapper top(nullptr);
+  const ResourceTally t = top.own_resources();
+  EXPECT_EQ(t.ff, 16u);  // two 8-bit registers
+  EXPECT_EQ(t.lut4, 0u);
+}
+
+// ---- SyncRam ----
+
+class RamHarness final : public Module {
+ public:
+  explicit RamHarness() : Module(nullptr, "tb"), ram(this, "ram", 32, 36) {}
+  SyncRam ram;
+};
+
+TEST(SyncRam, WriteThenReadBack) {
+  RamHarness tb;
+  Simulator sim(tb);
+  tb.ram.addr.write(5);
+  tb.ram.we.write(true);
+  tb.ram.wdata.write(0xABCDEF123ULL);
+  sim.step();
+  tb.ram.we.write(false);
+  tb.ram.addr.write(5);
+  sim.step();
+  EXPECT_EQ(tb.ram.rdata.read(), 0xABCDEF123ULL);
+}
+
+TEST(SyncRam, ReadFirstOnSimultaneousReadWrite) {
+  RamHarness tb;
+  Simulator sim(tb);
+  tb.ram.poke(3, 111);
+  tb.ram.addr.write(3);
+  tb.ram.we.write(true);
+  tb.ram.wdata.write(222);
+  sim.step();
+  EXPECT_EQ(tb.ram.rdata.read(), 111u);  // old data on the read port
+  EXPECT_EQ(tb.ram.peek(3), 222u);       // write landed
+}
+
+TEST(SyncRam, WidthMasking) {
+  RamHarness tb;
+  Simulator sim(tb);
+  tb.ram.addr.write(0);
+  tb.ram.we.write(true);
+  tb.ram.wdata.write(~std::uint64_t{0});
+  sim.step();
+  EXPECT_EQ(tb.ram.peek(0), (std::uint64_t{1} << 36) - 1);
+}
+
+TEST(SyncRam, PeekPokeBoundsChecked) {
+  RamHarness tb;
+  EXPECT_THROW((void)tb.ram.peek(32), std::out_of_range);
+  EXPECT_THROW(tb.ram.poke(32, 0), std::out_of_range);
+}
+
+TEST(SyncRam, ResourceTallyCountsRamBits) {
+  RamHarness tb;
+  const ResourceTally t = tb.ram.own_resources();
+  EXPECT_EQ(t.ram_bits, 32u * 36u);
+  EXPECT_EQ(t.ff, 36u);  // registered read port
+}
+
+// ---- VCD ----
+
+TEST(Vcd, ProducesWellFormedHeaderAndSamples) {
+  CombChain top(nullptr);
+  Simulator sim(top);
+  const std::string path = ::testing::TempDir() + "/leo_test.vcd";
+  {
+    VcdWriter vcd(path, top);
+    EXPECT_EQ(vcd.traced_nets(), 3u);
+    sim.attach_vcd(&vcd);
+    sim.run(3);
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("$timescale 1 us $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 8"), std::string::npos);
+  EXPECT_NE(text.find("count"), std::string::npos);
+  EXPECT_NE(text.find("#1"), std::string::npos);
+  EXPECT_NE(text.find("#3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace leo::rtl

@@ -1,0 +1,94 @@
+// Tests for the experiment-sweep thread pool.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace leo::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexError) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(100, [&](std::size_t i) {
+      if (i == 13 || i == 77) {
+        throw std::runtime_error("fail " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "fail 13");
+  }
+}
+
+TEST(ThreadPool, ParallelForResultsIndependentOfThreadCount) {
+  // The canonical use: per-index work seeded by the index only.
+  auto run = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> out(64);
+    pool.parallel_for(out.size(), [&](std::size_t i) {
+      std::uint64_t acc = i + 1;
+      for (int k = 0; k < 1000; ++k) acc = acc * 6364136223846793005ULL + 1;
+      out[i] = acc;
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(ThreadPool, SizeReflectsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultUsesAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ManySmallTasks) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  futures.reserve(500);
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([i] { return i; }));
+  }
+  long long sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(sum, 499LL * 500 / 2);
+}
+
+}  // namespace
+}  // namespace leo::util
