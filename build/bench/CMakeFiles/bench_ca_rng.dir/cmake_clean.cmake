@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ca_rng.dir/bench_ca_rng.cpp.o"
+  "CMakeFiles/bench_ca_rng.dir/bench_ca_rng.cpp.o.d"
+  "bench_ca_rng"
+  "bench_ca_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ca_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpu_vs_gap.dir/bench_cpu_vs_gap.cpp.o"
+  "CMakeFiles/bench_cpu_vs_gap.dir/bench_cpu_vs_gap.cpp.o.d"
+  "bench_cpu_vs_gap"
+  "bench_cpu_vs_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpu_vs_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fitness_landscape.dir/bench_fitness_landscape.cpp.o"
+  "CMakeFiles/bench_fitness_landscape.dir/bench_fitness_landscape.cpp.o.d"
+  "bench_fitness_landscape"
+  "bench_fitness_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fitness_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ga_vs_exhaustive.dir/bench_ga_vs_exhaustive.cpp.o"
+  "CMakeFiles/bench_ga_vs_exhaustive.dir/bench_ga_vs_exhaustive.cpp.o.d"
+  "bench_ga_vs_exhaustive"
+  "bench_ga_vs_exhaustive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ga_vs_exhaustive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gait_quality.dir/bench_gait_quality.cpp.o"
+  "CMakeFiles/bench_gait_quality.dir/bench_gait_quality.cpp.o.d"
+  "bench_gait_quality"
+  "bench_gait_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gait_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_operators.cpp" "bench/CMakeFiles/bench_operators.dir/bench_operators.cpp.o" "gcc" "bench/CMakeFiles/bench_operators.dir/bench_operators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/leo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gap/CMakeFiles/leo_gap.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/leo_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/leo_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/robot/CMakeFiles/leo_robot.dir/DependInfo.cmake"
+  "/root/repo/build/src/fitness/CMakeFiles/leo_fitness.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/leo_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/leo_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/leo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/servo/CMakeFiles/leo_servo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

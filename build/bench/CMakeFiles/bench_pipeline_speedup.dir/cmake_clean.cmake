@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipeline_speedup.dir/bench_pipeline_speedup.cpp.o"
+  "CMakeFiles/bench_pipeline_speedup.dir/bench_pipeline_speedup.cpp.o.d"
+  "bench_pipeline_speedup"
+  "bench_pipeline_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

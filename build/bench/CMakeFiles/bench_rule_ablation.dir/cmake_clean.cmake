@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rule_ablation.dir/bench_rule_ablation.cpp.o"
+  "CMakeFiles/bench_rule_ablation.dir/bench_rule_ablation.cpp.o.d"
+  "bench_rule_ablation"
+  "bench_rule_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rule_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weight_sensitivity.dir/bench_weight_sensitivity.cpp.o"
+  "CMakeFiles/bench_weight_sensitivity.dir/bench_weight_sensitivity.cpp.o.d"
+  "bench_weight_sensitivity"
+  "bench_weight_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weight_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

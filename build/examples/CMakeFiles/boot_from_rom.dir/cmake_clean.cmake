@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boot_from_rom.dir/boot_from_rom.cpp.o"
+  "CMakeFiles/boot_from_rom.dir/boot_from_rom.cpp.o.d"
+  "boot_from_rom"
+  "boot_from_rom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boot_from_rom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

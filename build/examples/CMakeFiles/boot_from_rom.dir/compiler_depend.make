@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for boot_from_rom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for boot_from_rom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discipulus_cli.dir/discipulus_cli.cpp.o"
+  "CMakeFiles/discipulus_cli.dir/discipulus_cli.cpp.o.d"
+  "discipulus_cli"
+  "discipulus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discipulus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolve_on_fpga.dir/evolve_on_fpga.cpp.o"
+  "CMakeFiles/evolve_on_fpga.dir/evolve_on_fpga.cpp.o.d"
+  "evolve_on_fpga"
+  "evolve_on_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolve_on_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/gait_playback.cpp" "examples/CMakeFiles/gait_playback.dir/gait_playback.cpp.o" "gcc" "examples/CMakeFiles/gait_playback.dir/gait_playback.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/robot/CMakeFiles/leo_robot.dir/DependInfo.cmake"
+  "/root/repo/build/src/fitness/CMakeFiles/leo_fitness.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/leo_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/leo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gait_playback.dir/gait_playback.cpp.o"
+  "CMakeFiles/gait_playback.dir/gait_playback.cpp.o.d"
+  "gait_playback"
+  "gait_playback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gait_playback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

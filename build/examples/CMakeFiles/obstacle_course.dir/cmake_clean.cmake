@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obstacle_course.dir/obstacle_course.cpp.o"
+  "CMakeFiles/obstacle_course.dir/obstacle_course.cpp.o.d"
+  "obstacle_course"
+  "obstacle_course.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obstacle_course.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

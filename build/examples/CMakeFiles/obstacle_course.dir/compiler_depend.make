@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for obstacle_course.
+# This may be replaced when dependencies are built.

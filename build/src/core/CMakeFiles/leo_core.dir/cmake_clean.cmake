@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_core.dir/cosim.cpp.o"
+  "CMakeFiles/leo_core.dir/cosim.cpp.o.d"
+  "CMakeFiles/leo_core.dir/discipulus.cpp.o"
+  "CMakeFiles/leo_core.dir/discipulus.cpp.o.d"
+  "CMakeFiles/leo_core.dir/evolution_engine.cpp.o"
+  "CMakeFiles/leo_core.dir/evolution_engine.cpp.o.d"
+  "CMakeFiles/leo_core.dir/experiment.cpp.o"
+  "CMakeFiles/leo_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/leo_core.dir/walking_controller.cpp.o"
+  "CMakeFiles/leo_core.dir/walking_controller.cpp.o.d"
+  "libleo_core.a"
+  "libleo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

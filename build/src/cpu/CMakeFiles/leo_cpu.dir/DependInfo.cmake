@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/assembler.cpp" "src/cpu/CMakeFiles/leo_cpu.dir/assembler.cpp.o" "gcc" "src/cpu/CMakeFiles/leo_cpu.dir/assembler.cpp.o.d"
+  "/root/repo/src/cpu/disassembler.cpp" "src/cpu/CMakeFiles/leo_cpu.dir/disassembler.cpp.o" "gcc" "src/cpu/CMakeFiles/leo_cpu.dir/disassembler.cpp.o.d"
+  "/root/repo/src/cpu/firmware.cpp" "src/cpu/CMakeFiles/leo_cpu.dir/firmware.cpp.o" "gcc" "src/cpu/CMakeFiles/leo_cpu.dir/firmware.cpp.o.d"
+  "/root/repo/src/cpu/mcu.cpp" "src/cpu/CMakeFiles/leo_cpu.dir/mcu.cpp.o" "gcc" "src/cpu/CMakeFiles/leo_cpu.dir/mcu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/leo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

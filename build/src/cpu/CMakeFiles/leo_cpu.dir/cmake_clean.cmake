@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_cpu.dir/assembler.cpp.o"
+  "CMakeFiles/leo_cpu.dir/assembler.cpp.o.d"
+  "CMakeFiles/leo_cpu.dir/disassembler.cpp.o"
+  "CMakeFiles/leo_cpu.dir/disassembler.cpp.o.d"
+  "CMakeFiles/leo_cpu.dir/firmware.cpp.o"
+  "CMakeFiles/leo_cpu.dir/firmware.cpp.o.d"
+  "CMakeFiles/leo_cpu.dir/mcu.cpp.o"
+  "CMakeFiles/leo_cpu.dir/mcu.cpp.o.d"
+  "libleo_cpu.a"
+  "libleo_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_fitness.dir/landscape.cpp.o"
+  "CMakeFiles/leo_fitness.dir/landscape.cpp.o.d"
+  "CMakeFiles/leo_fitness.dir/rules.cpp.o"
+  "CMakeFiles/leo_fitness.dir/rules.cpp.o.d"
+  "libleo_fitness.a"
+  "libleo_fitness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_fitness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for leo_fitness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/bitstream.cpp" "src/fpga/CMakeFiles/leo_fpga.dir/bitstream.cpp.o" "gcc" "src/fpga/CMakeFiles/leo_fpga.dir/bitstream.cpp.o.d"
+  "/root/repo/src/fpga/config_loader.cpp" "src/fpga/CMakeFiles/leo_fpga.dir/config_loader.cpp.o" "gcc" "src/fpga/CMakeFiles/leo_fpga.dir/config_loader.cpp.o.d"
+  "/root/repo/src/fpga/fitness_netlist.cpp" "src/fpga/CMakeFiles/leo_fpga.dir/fitness_netlist.cpp.o" "gcc" "src/fpga/CMakeFiles/leo_fpga.dir/fitness_netlist.cpp.o.d"
+  "/root/repo/src/fpga/netlist.cpp" "src/fpga/CMakeFiles/leo_fpga.dir/netlist.cpp.o" "gcc" "src/fpga/CMakeFiles/leo_fpga.dir/netlist.cpp.o.d"
+  "/root/repo/src/fpga/techmap.cpp" "src/fpga/CMakeFiles/leo_fpga.dir/techmap.cpp.o" "gcc" "src/fpga/CMakeFiles/leo_fpga.dir/techmap.cpp.o.d"
+  "/root/repo/src/fpga/xc4000.cpp" "src/fpga/CMakeFiles/leo_fpga.dir/xc4000.cpp.o" "gcc" "src/fpga/CMakeFiles/leo_fpga.dir/xc4000.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/leo_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/fitness/CMakeFiles/leo_fitness.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/leo_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/leo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_fpga.dir/bitstream.cpp.o"
+  "CMakeFiles/leo_fpga.dir/bitstream.cpp.o.d"
+  "CMakeFiles/leo_fpga.dir/config_loader.cpp.o"
+  "CMakeFiles/leo_fpga.dir/config_loader.cpp.o.d"
+  "CMakeFiles/leo_fpga.dir/fitness_netlist.cpp.o"
+  "CMakeFiles/leo_fpga.dir/fitness_netlist.cpp.o.d"
+  "CMakeFiles/leo_fpga.dir/netlist.cpp.o"
+  "CMakeFiles/leo_fpga.dir/netlist.cpp.o.d"
+  "CMakeFiles/leo_fpga.dir/techmap.cpp.o"
+  "CMakeFiles/leo_fpga.dir/techmap.cpp.o.d"
+  "CMakeFiles/leo_fpga.dir/xc4000.cpp.o"
+  "CMakeFiles/leo_fpga.dir/xc4000.cpp.o.d"
+  "libleo_fpga.a"
+  "libleo_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libleo_fpga.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ga/baselines.cpp" "src/ga/CMakeFiles/leo_ga.dir/baselines.cpp.o" "gcc" "src/ga/CMakeFiles/leo_ga.dir/baselines.cpp.o.d"
+  "/root/repo/src/ga/crossover.cpp" "src/ga/CMakeFiles/leo_ga.dir/crossover.cpp.o" "gcc" "src/ga/CMakeFiles/leo_ga.dir/crossover.cpp.o.d"
+  "/root/repo/src/ga/diversity.cpp" "src/ga/CMakeFiles/leo_ga.dir/diversity.cpp.o" "gcc" "src/ga/CMakeFiles/leo_ga.dir/diversity.cpp.o.d"
+  "/root/repo/src/ga/engine.cpp" "src/ga/CMakeFiles/leo_ga.dir/engine.cpp.o" "gcc" "src/ga/CMakeFiles/leo_ga.dir/engine.cpp.o.d"
+  "/root/repo/src/ga/mutation.cpp" "src/ga/CMakeFiles/leo_ga.dir/mutation.cpp.o" "gcc" "src/ga/CMakeFiles/leo_ga.dir/mutation.cpp.o.d"
+  "/root/repo/src/ga/selection.cpp" "src/ga/CMakeFiles/leo_ga.dir/selection.cpp.o" "gcc" "src/ga/CMakeFiles/leo_ga.dir/selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/leo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_ga.dir/baselines.cpp.o"
+  "CMakeFiles/leo_ga.dir/baselines.cpp.o.d"
+  "CMakeFiles/leo_ga.dir/crossover.cpp.o"
+  "CMakeFiles/leo_ga.dir/crossover.cpp.o.d"
+  "CMakeFiles/leo_ga.dir/diversity.cpp.o"
+  "CMakeFiles/leo_ga.dir/diversity.cpp.o.d"
+  "CMakeFiles/leo_ga.dir/engine.cpp.o"
+  "CMakeFiles/leo_ga.dir/engine.cpp.o.d"
+  "CMakeFiles/leo_ga.dir/mutation.cpp.o"
+  "CMakeFiles/leo_ga.dir/mutation.cpp.o.d"
+  "CMakeFiles/leo_ga.dir/selection.cpp.o"
+  "CMakeFiles/leo_ga.dir/selection.cpp.o.d"
+  "libleo_ga.a"
+  "libleo_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

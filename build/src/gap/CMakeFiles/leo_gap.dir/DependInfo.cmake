@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gap/ca_rng_module.cpp" "src/gap/CMakeFiles/leo_gap.dir/ca_rng_module.cpp.o" "gcc" "src/gap/CMakeFiles/leo_gap.dir/ca_rng_module.cpp.o.d"
+  "/root/repo/src/gap/crossover_engine.cpp" "src/gap/CMakeFiles/leo_gap.dir/crossover_engine.cpp.o" "gcc" "src/gap/CMakeFiles/leo_gap.dir/crossover_engine.cpp.o.d"
+  "/root/repo/src/gap/fitness_unit.cpp" "src/gap/CMakeFiles/leo_gap.dir/fitness_unit.cpp.o" "gcc" "src/gap/CMakeFiles/leo_gap.dir/fitness_unit.cpp.o.d"
+  "/root/repo/src/gap/gap_top.cpp" "src/gap/CMakeFiles/leo_gap.dir/gap_top.cpp.o" "gcc" "src/gap/CMakeFiles/leo_gap.dir/gap_top.cpp.o.d"
+  "/root/repo/src/gap/pair_fifo.cpp" "src/gap/CMakeFiles/leo_gap.dir/pair_fifo.cpp.o" "gcc" "src/gap/CMakeFiles/leo_gap.dir/pair_fifo.cpp.o.d"
+  "/root/repo/src/gap/selection_engine.cpp" "src/gap/CMakeFiles/leo_gap.dir/selection_engine.cpp.o" "gcc" "src/gap/CMakeFiles/leo_gap.dir/selection_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/leo_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/leo_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/fitness/CMakeFiles/leo_fitness.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/leo_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/leo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_gap.dir/ca_rng_module.cpp.o"
+  "CMakeFiles/leo_gap.dir/ca_rng_module.cpp.o.d"
+  "CMakeFiles/leo_gap.dir/crossover_engine.cpp.o"
+  "CMakeFiles/leo_gap.dir/crossover_engine.cpp.o.d"
+  "CMakeFiles/leo_gap.dir/fitness_unit.cpp.o"
+  "CMakeFiles/leo_gap.dir/fitness_unit.cpp.o.d"
+  "CMakeFiles/leo_gap.dir/gap_top.cpp.o"
+  "CMakeFiles/leo_gap.dir/gap_top.cpp.o.d"
+  "CMakeFiles/leo_gap.dir/pair_fifo.cpp.o"
+  "CMakeFiles/leo_gap.dir/pair_fifo.cpp.o.d"
+  "CMakeFiles/leo_gap.dir/selection_engine.cpp.o"
+  "CMakeFiles/leo_gap.dir/selection_engine.cpp.o.d"
+  "libleo_gap.a"
+  "libleo_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genome/gait_analysis.cpp" "src/genome/CMakeFiles/leo_genome.dir/gait_analysis.cpp.o" "gcc" "src/genome/CMakeFiles/leo_genome.dir/gait_analysis.cpp.o.d"
+  "/root/repo/src/genome/gait_genome.cpp" "src/genome/CMakeFiles/leo_genome.dir/gait_genome.cpp.o" "gcc" "src/genome/CMakeFiles/leo_genome.dir/gait_genome.cpp.o.d"
+  "/root/repo/src/genome/known_gaits.cpp" "src/genome/CMakeFiles/leo_genome.dir/known_gaits.cpp.o" "gcc" "src/genome/CMakeFiles/leo_genome.dir/known_gaits.cpp.o.d"
+  "/root/repo/src/genome/phases.cpp" "src/genome/CMakeFiles/leo_genome.dir/phases.cpp.o" "gcc" "src/genome/CMakeFiles/leo_genome.dir/phases.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/leo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_genome.dir/gait_analysis.cpp.o"
+  "CMakeFiles/leo_genome.dir/gait_analysis.cpp.o.d"
+  "CMakeFiles/leo_genome.dir/gait_genome.cpp.o"
+  "CMakeFiles/leo_genome.dir/gait_genome.cpp.o.d"
+  "CMakeFiles/leo_genome.dir/known_gaits.cpp.o"
+  "CMakeFiles/leo_genome.dir/known_gaits.cpp.o.d"
+  "CMakeFiles/leo_genome.dir/phases.cpp.o"
+  "CMakeFiles/leo_genome.dir/phases.cpp.o.d"
+  "libleo_genome.a"
+  "libleo_genome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_genome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/robot/kinematics.cpp" "src/robot/CMakeFiles/leo_robot.dir/kinematics.cpp.o" "gcc" "src/robot/CMakeFiles/leo_robot.dir/kinematics.cpp.o.d"
+  "/root/repo/src/robot/sensors.cpp" "src/robot/CMakeFiles/leo_robot.dir/sensors.cpp.o" "gcc" "src/robot/CMakeFiles/leo_robot.dir/sensors.cpp.o.d"
+  "/root/repo/src/robot/stability.cpp" "src/robot/CMakeFiles/leo_robot.dir/stability.cpp.o" "gcc" "src/robot/CMakeFiles/leo_robot.dir/stability.cpp.o.d"
+  "/root/repo/src/robot/terrain.cpp" "src/robot/CMakeFiles/leo_robot.dir/terrain.cpp.o" "gcc" "src/robot/CMakeFiles/leo_robot.dir/terrain.cpp.o.d"
+  "/root/repo/src/robot/walker.cpp" "src/robot/CMakeFiles/leo_robot.dir/walker.cpp.o" "gcc" "src/robot/CMakeFiles/leo_robot.dir/walker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/genome/CMakeFiles/leo_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/leo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

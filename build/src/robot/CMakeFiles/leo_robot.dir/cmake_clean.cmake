@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_robot.dir/kinematics.cpp.o"
+  "CMakeFiles/leo_robot.dir/kinematics.cpp.o.d"
+  "CMakeFiles/leo_robot.dir/sensors.cpp.o"
+  "CMakeFiles/leo_robot.dir/sensors.cpp.o.d"
+  "CMakeFiles/leo_robot.dir/stability.cpp.o"
+  "CMakeFiles/leo_robot.dir/stability.cpp.o.d"
+  "CMakeFiles/leo_robot.dir/terrain.cpp.o"
+  "CMakeFiles/leo_robot.dir/terrain.cpp.o.d"
+  "CMakeFiles/leo_robot.dir/walker.cpp.o"
+  "CMakeFiles/leo_robot.dir/walker.cpp.o.d"
+  "libleo_robot.a"
+  "libleo_robot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_robot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/module.cpp" "src/rtl/CMakeFiles/leo_rtl.dir/module.cpp.o" "gcc" "src/rtl/CMakeFiles/leo_rtl.dir/module.cpp.o.d"
+  "/root/repo/src/rtl/net.cpp" "src/rtl/CMakeFiles/leo_rtl.dir/net.cpp.o" "gcc" "src/rtl/CMakeFiles/leo_rtl.dir/net.cpp.o.d"
+  "/root/repo/src/rtl/ram.cpp" "src/rtl/CMakeFiles/leo_rtl.dir/ram.cpp.o" "gcc" "src/rtl/CMakeFiles/leo_rtl.dir/ram.cpp.o.d"
+  "/root/repo/src/rtl/simulator.cpp" "src/rtl/CMakeFiles/leo_rtl.dir/simulator.cpp.o" "gcc" "src/rtl/CMakeFiles/leo_rtl.dir/simulator.cpp.o.d"
+  "/root/repo/src/rtl/vcd.cpp" "src/rtl/CMakeFiles/leo_rtl.dir/vcd.cpp.o" "gcc" "src/rtl/CMakeFiles/leo_rtl.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/leo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_rtl.dir/module.cpp.o"
+  "CMakeFiles/leo_rtl.dir/module.cpp.o.d"
+  "CMakeFiles/leo_rtl.dir/net.cpp.o"
+  "CMakeFiles/leo_rtl.dir/net.cpp.o.d"
+  "CMakeFiles/leo_rtl.dir/ram.cpp.o"
+  "CMakeFiles/leo_rtl.dir/ram.cpp.o.d"
+  "CMakeFiles/leo_rtl.dir/simulator.cpp.o"
+  "CMakeFiles/leo_rtl.dir/simulator.cpp.o.d"
+  "CMakeFiles/leo_rtl.dir/vcd.cpp.o"
+  "CMakeFiles/leo_rtl.dir/vcd.cpp.o.d"
+  "libleo_rtl.a"
+  "libleo_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_servo.dir/pwm.cpp.o"
+  "CMakeFiles/leo_servo.dir/pwm.cpp.o.d"
+  "CMakeFiles/leo_servo.dir/servo_model.cpp.o"
+  "CMakeFiles/leo_servo.dir/servo_model.cpp.o.d"
+  "libleo_servo.a"
+  "libleo_servo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_servo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

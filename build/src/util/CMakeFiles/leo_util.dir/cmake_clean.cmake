@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_util.dir/bitvec.cpp.o"
+  "CMakeFiles/leo_util.dir/bitvec.cpp.o.d"
+  "CMakeFiles/leo_util.dir/ca_rng.cpp.o"
+  "CMakeFiles/leo_util.dir/ca_rng.cpp.o.d"
+  "CMakeFiles/leo_util.dir/csv.cpp.o"
+  "CMakeFiles/leo_util.dir/csv.cpp.o.d"
+  "CMakeFiles/leo_util.dir/log.cpp.o"
+  "CMakeFiles/leo_util.dir/log.cpp.o.d"
+  "CMakeFiles/leo_util.dir/rng.cpp.o"
+  "CMakeFiles/leo_util.dir/rng.cpp.o.d"
+  "CMakeFiles/leo_util.dir/stats.cpp.o"
+  "CMakeFiles/leo_util.dir/stats.cpp.o.d"
+  "CMakeFiles/leo_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/leo_util.dir/thread_pool.cpp.o.d"
+  "libleo_util.a"
+  "libleo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ca_rng.dir/test_ca_rng.cpp.o"
+  "CMakeFiles/test_ca_rng.dir/test_ca_rng.cpp.o.d"
+  "test_ca_rng"
+  "test_ca_rng.pdb"
+  "test_ca_rng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ca_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

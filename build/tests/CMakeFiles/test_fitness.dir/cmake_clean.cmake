@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fitness.dir/test_fitness.cpp.o"
+  "CMakeFiles/test_fitness.dir/test_fitness.cpp.o.d"
+  "test_fitness"
+  "test_fitness.pdb"
+  "test_fitness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fitness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gait_analysis.dir/test_gait_analysis.cpp.o"
+  "CMakeFiles/test_gait_analysis.dir/test_gait_analysis.cpp.o.d"
+  "test_gait_analysis"
+  "test_gait_analysis.pdb"
+  "test_gait_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gait_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_robot.dir/test_robot.cpp.o"
+  "CMakeFiles/test_robot.dir/test_robot.cpp.o.d"
+  "test_robot"
+  "test_robot.pdb"
+  "test_robot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_robot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

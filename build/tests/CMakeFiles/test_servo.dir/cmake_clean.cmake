@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_servo.dir/test_servo.cpp.o"
+  "CMakeFiles/test_servo.dir/test_servo.cpp.o.d"
+  "test_servo"
+  "test_servo.pdb"
+  "test_servo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_servo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_walking_controller.dir/test_walking_controller.cpp.o"
+  "CMakeFiles/test_walking_controller.dir/test_walking_controller.cpp.o.d"
+  "test_walking_controller"
+  "test_walking_controller.pdb"
+  "test_walking_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_walking_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
