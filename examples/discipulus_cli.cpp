@@ -6,10 +6,17 @@
 //   discipulus_cli analyze <genome>       classification + rule breakdown
 //   discipulus_cli resources              FPGA utilization report
 //   discipulus_cli disasm-firmware        list the MCU16 GA firmware
+//   discipulus_cli serve [threads]        interactive evolution job service
+//   discipulus_cli submit <seeds...>      batch-evolve seeds via the service
+//   discipulus_cli status <snapshot>      describe a checkpoint file
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/discipulus.hpp"
 #include "core/evolution_engine.hpp"
@@ -21,6 +28,9 @@
 #include "genome/gait_analysis.hpp"
 #include "genome/gait_genome.hpp"
 #include "robot/walker.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/config_hash.hpp"
+#include "serve/scheduler.hpp"
 
 namespace {
 
@@ -34,7 +44,10 @@ int usage() {
                "  play <genome>       analyze and walk a 36-bit genome\n"
                "  analyze <genome>    classification and rule breakdown\n"
                "  resources           FPGA utilization of the full design\n"
-               "  disasm-firmware     disassemble the MCU16 GA firmware\n");
+               "  disasm-firmware     disassemble the MCU16 GA firmware\n"
+               "  serve [threads]     interactive evolution job service\n"
+               "  submit <seeds...>   batch-evolve seeds via the service\n"
+               "  status <snapshot>   describe a checkpoint file\n");
   return 2;
 }
 
@@ -76,6 +89,158 @@ int cmd_evolve(core::Backend backend, std::uint64_t seed) {
               m.distance_forward_m, m.falls, m.stumbles,
               m.quality(walker.ideal_distance(10)));
   return 0;
+}
+
+core::EvolutionConfig service_config(core::Backend backend,
+                                     std::uint64_t seed) {
+  core::EvolutionConfig config;
+  config.backend = backend;
+  config.seed = seed;
+  return config;
+}
+
+void print_job_line(std::uint64_t local_id, const serve::JobHandle& job) {
+  const serve::JobProgress p = job.progress();
+  std::printf("  job %-4llu %-10s key %s  gen %llu  best %u",
+              static_cast<unsigned long long>(local_id),
+              serve::to_string(job.state()),
+              serve::key_to_string(job.cache_key()).c_str(),
+              static_cast<unsigned long long>(p.generation), p.best_fitness);
+  if (job.from_cache()) std::printf("  (cached)");
+  if (job.state() == serve::JobState::kFailed) {
+    std::printf("  error: %s", job.error().c_str());
+  }
+  std::printf("\n");
+}
+
+void print_cache_stats(const serve::EvolutionService& service) {
+  const serve::CacheStats s = service.cache_stats();
+  std::printf("cache: %llu hits, %llu misses, %zu entries\n",
+              static_cast<unsigned long long>(s.hits),
+              static_cast<unsigned long long>(s.misses), s.entries);
+}
+
+/// Interactive job service: a tiny line-oriented REPL over an
+/// EvolutionService, mirroring what a robot-side daemon would expose.
+int cmd_serve(std::size_t threads) {
+  serve::EvolutionService service(threads);
+  std::map<std::uint64_t, serve::JobHandle> jobs;
+  std::uint64_t next_id = 1;
+
+  std::printf("evolution service ready (%zu threads); commands:\n"
+              "  submit <seed> [gen-budget]   queue a software-GA job\n"
+              "  submit-hw <seed>             queue a hardware (GAP) job\n"
+              "  status [id]                  job state and progress\n"
+              "  cancel <id>                  cooperatively cancel a job\n"
+              "  checkpoint <id> <file>       snapshot a job to disk\n"
+              "  resume <file>                resume a snapshot file\n"
+              "  cache                        result-cache statistics\n"
+              "  quit\n",
+              service.threads());
+
+  std::string line;
+  while (std::printf("> ") && std::fflush(stdout) == 0 &&
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+    try {
+      if (cmd == "quit" || cmd == "exit") break;
+      if (cmd == "submit" || cmd == "submit-hw") {
+        std::uint64_t seed = 1;
+        in >> seed;
+        serve::JobOptions options;
+        in >> options.generation_budget;
+        const auto backend = cmd == "submit" ? core::Backend::kSoftware
+                                             : core::Backend::kHardware;
+        jobs.emplace(next_id,
+                     service.submit(service_config(backend, seed), options));
+        std::printf("queued job %llu\n",
+                    static_cast<unsigned long long>(next_id++));
+      } else if (cmd == "status") {
+        std::uint64_t id = 0;
+        if (in >> id) {
+          const auto it = jobs.find(id);
+          if (it == jobs.end()) std::printf("no such job\n");
+          else print_job_line(id, it->second);
+        } else {
+          for (const auto& [local_id, job] : jobs) {
+            print_job_line(local_id, job);
+          }
+        }
+      } else if (cmd == "cancel") {
+        std::uint64_t id = 0;
+        in >> id;
+        const auto it = jobs.find(id);
+        if (it == jobs.end()) std::printf("no such job\n");
+        else it->second.cancel();
+      } else if (cmd == "checkpoint") {
+        std::uint64_t id = 0;
+        std::string path;
+        in >> id >> path;
+        const auto it = jobs.find(id);
+        if (it == jobs.end() || path.empty()) {
+          std::printf("usage: checkpoint <id> <file>\n");
+        } else {
+          serve::save_snapshot(path, it->second.checkpoint());
+          std::printf("wrote %s\n", path.c_str());
+        }
+      } else if (cmd == "resume") {
+        std::string path;
+        in >> path;
+        jobs.emplace(next_id, service.resume(serve::load_snapshot(path)));
+        std::printf("resumed as job %llu\n",
+                    static_cast<unsigned long long>(next_id++));
+      } else if (cmd == "cache") {
+        print_cache_stats(service);
+      } else {
+        std::printf("unknown command: %s\n", cmd.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  return 0;
+}
+
+/// Batch mode: submit one software-GA job per seed, wait for all, report.
+int cmd_submit_batch(const std::vector<std::uint64_t>& seeds) {
+  serve::EvolutionService service;
+  std::vector<serve::JobHandle> handles;
+  handles.reserve(seeds.size());
+  for (const std::uint64_t seed : seeds) {
+    handles.push_back(
+        service.submit(service_config(core::Backend::kSoftware, seed)));
+  }
+  int failures = 0;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    try {
+      const core::EvolutionResult r = handles[i].wait();
+      std::printf("seed %-6llu %s in %llu generations  genome %09llx%s\n",
+                  static_cast<unsigned long long>(seeds[i]),
+                  r.reached_target ? "converged" : "stopped",
+                  static_cast<unsigned long long>(r.generations),
+                  static_cast<unsigned long long>(r.best_genome),
+                  handles[i].from_cache() ? "  (cached)" : "");
+    } catch (const std::exception& e) {
+      std::printf("seed %-6llu failed: %s\n",
+                  static_cast<unsigned long long>(seeds[i]), e.what());
+      ++failures;
+    }
+  }
+  print_cache_stats(service);
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_snapshot_status(const char* path) {
+  try {
+    const serve::Snapshot snap = serve::load_snapshot(path);
+    std::printf("%s", serve::describe_snapshot(snap).c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }
 
 int cmd_play(std::uint64_t bits) {
@@ -122,6 +287,21 @@ int main(int argc, char** argv) {
                 fpga::report_utilization(top).to_string(fpga::kXc4036Ex)
                     .c_str());
     return 0;
+  }
+  if (cmd == "serve") {
+    const std::size_t threads =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 0;
+    return cmd_serve(threads);
+  }
+  if (cmd == "submit" && argc > 2) {
+    std::vector<std::uint64_t> seeds;
+    for (int i = 2; i < argc; ++i) {
+      seeds.push_back(std::strtoull(argv[i], nullptr, 0));
+    }
+    return cmd_submit_batch(seeds);
+  }
+  if (cmd == "status" && argc > 2) {
+    return cmd_snapshot_status(argv[2]);
   }
   if (cmd == "disasm-firmware") {
     const cpu::Program p = cpu::assemble(cpu::ga_firmware_source());

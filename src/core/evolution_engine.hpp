@@ -10,13 +10,16 @@
 // Both use the same fitness spec, so results are directly comparable.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include "fitness/rules.hpp"
 #include "ga/engine.hpp"
 #include "gap/gap_params.hpp"
+#include "util/rng.hpp"
 
 namespace leo::core {
 
@@ -43,8 +46,68 @@ struct EvolutionResult {
   std::vector<ga::GenerationStats> history;
 };
 
+/// Cooperative controls threaded into a running evolution. All hooks are
+/// polled at generation boundaries (software backend) or every few hundred
+/// simulated cycles (hardware backend), so stopping is prompt but never
+/// preemptive — the run state stays consistent and resumable.
+struct RunControl {
+  /// Absolute generation ceiling for this run (0 = no budget). Acts as a
+  /// per-job deadline: the run stops after this many total generations
+  /// even if the target fitness has not been reached.
+  std::uint64_t generation_budget = 0;
+  /// Polled between generations; returning true stops the run early.
+  std::function<bool()> should_stop;
+  /// Progress reporting: called with (generation, best-ever fitness).
+  std::function<void(std::uint64_t, unsigned)> on_progress;
+};
+
 /// Runs one evolution to the spec's maximum fitness (or the backend
 /// params' target). Deterministic in (config.seed, config contents).
 [[nodiscard]] EvolutionResult evolve(const EvolutionConfig& config);
+
+/// As above, under cooperative control. With a default-constructed control
+/// this is identical to evolve(config).
+[[nodiscard]] EvolutionResult evolve(const EvolutionConfig& config,
+                                     const RunControl& control);
+
+/// A suspendable software-backend evolution. Unlike the fire-and-forget
+/// evolve(), the engine state (population, best, counters) and the RNG
+/// live in the session object between run() calls, so a run can be
+/// stopped at any generation boundary, serialized (serve::Snapshot), and
+/// later resumed bit-for-bit: an interrupted-and-resumed run produces an
+/// EvolutionResult identical to an uninterrupted one.
+class EvolutionSession {
+ public:
+  /// Fresh run. Throws std::invalid_argument unless config.backend is
+  /// kSoftware (the RTL simulator's state is not serializable).
+  explicit EvolutionSession(const EvolutionConfig& config);
+
+  /// Resumes from previously captured engine + RNG state (a checkpoint).
+  /// The state must have been produced by a session with an identical
+  /// config; `state.population.size()` is validated against the config.
+  EvolutionSession(const EvolutionConfig& config, ga::EngineState state,
+                   const util::Xoshiro256::State& rng_state);
+
+  /// Advances the run until the target is reached, config.max_generations
+  /// (or control.generation_budget) elapse, or control stops it. Returns
+  /// the cumulative result so far; call again to continue.
+  EvolutionResult run(const RunControl& control = {});
+
+  [[nodiscard]] const EvolutionConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const ga::EngineState& state() const noexcept {
+    return state_;
+  }
+  [[nodiscard]] util::Xoshiro256::State rng_state() const noexcept {
+    return rng_.state();
+  }
+
+ private:
+  EvolutionConfig config_;
+  ga::GaEngine engine_;
+  util::Xoshiro256 rng_;
+  ga::EngineState state_;
+};
 
 }  // namespace leo::core

@@ -1,39 +1,19 @@
-// experiment.hpp — repeated-trial harness for the benches.
+// experiment.hpp — compatibility aliases for the trial harness.
 //
-// The paper's numbers are averages over runs ("an average of about 2000
-// generations"), so every experiment here is N independent trials with
-// per-trial seeds derived from a base seed. Trials run across the thread
-// pool; results are deterministic in (base_seed, n) regardless of
-// scheduling (each trial's RNG depends only on its own seed).
+// The repeated-trial harness now lives in the serve subsystem
+// (serve/trials.hpp): trials are submitted as jobs to an EvolutionService,
+// so the benches exercise the same scheduling/caching path as the service
+// CLI. Existing code keeps using leo::core::run_trials & friends through
+// the aliases below; new code should include serve/trials.hpp directly.
+// Targets using these names must link leo_serve.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <string>
-#include <vector>
-
-#include "core/evolution_engine.hpp"
-#include "util/stats.hpp"
+#include "serve/trials.hpp"
 
 namespace leo::core {
 
-struct TrialSummary {
-  std::size_t trials = 0;
-  std::size_t reached_target = 0;
-  util::RunningStats generations;     ///< over successful trials
-  util::RunningStats evaluations;
-  util::RunningStats clock_cycles;    ///< hardware backend only
-  std::vector<EvolutionResult> runs;  ///< per-trial detail, seed order
-};
-
-/// Runs `n` trials of `config` with seeds base_seed, base_seed+1, ...
-/// `threads` = 0 uses all cores.
-[[nodiscard]] TrialSummary run_trials(const EvolutionConfig& config,
-                                      std::size_t n, std::uint64_t base_seed,
-                                      std::size_t threads = 0);
-
-/// Formats a one-line summary ("24/24 reached max, generations mean=68.6
-/// min=14 max=220 ...") for bench output.
-[[nodiscard]] std::string describe(const TrialSummary& summary);
+using serve::TrialSummary;
+using serve::describe;
+using serve::run_trials;
 
 }  // namespace leo::core

@@ -86,54 +86,80 @@ void GaEngine::step_generation(Population& pop, util::RandomSource& rng) {
   evaluate(pop);
 }
 
-RunResult GaEngine::run(util::RandomSource& rng, std::uint64_t max_generations,
-                        std::optional<unsigned> target_fitness,
-                        bool track_history) {
+GenerationStats GaEngine::observe(EngineState& state, std::uint64_t generation,
+                                  bool track_history) {
+  const Population& pop = state.population;
+  GenerationStats gs;
+  gs.generation = generation;
+  gs.best_fitness = 0;
+  gs.worst_fitness = pop.front().fitness;
+  double sum = 0.0;
+  for (const auto& ind : pop) {
+    gs.best_fitness = std::max(gs.best_fitness, ind.fitness);
+    gs.worst_fitness = std::min(gs.worst_fitness, ind.fitness);
+    sum += static_cast<double>(ind.fitness);
+    if (ind.fitness > state.best.fitness) state.best = ind;
+  }
+  gs.mean_fitness = sum / static_cast<double>(pop.size());
+  gs.best_ever_fitness = state.best.fitness;
+  if (track_history) {
+    gs.diversity = mean_pairwise_hamming(pop);
+    state.history.push_back(gs);
+  }
+  return gs;
+}
+
+EngineState GaEngine::start(util::RandomSource& rng, bool track_history) {
   evaluations_ = 0;
-  Population pop = make_initial_population(rng);
+  EngineState state;
+  state.population = make_initial_population(rng);
+  state.best = state.population.front();
+  observe(state, 0, track_history);
+  state.evaluations = evaluations_;
+  return state;
+}
+
+RunResult GaEngine::run_from(EngineState& state, util::RandomSource& rng,
+                             std::uint64_t max_generations,
+                             std::optional<unsigned> target_fitness,
+                             bool track_history,
+                             const StepCallback& on_generation) {
+  evaluations_ = state.evaluations;
 
   RunResult result;
-  result.best = pop.front();
-
-  auto update_best_and_stats = [&](std::uint64_t gen) {
-    GenerationStats gs;
-    gs.generation = gen;
-    gs.best_fitness = 0;
-    gs.worst_fitness = pop.front().fitness;
-    double sum = 0.0;
-    for (const auto& ind : pop) {
-      gs.best_fitness = std::max(gs.best_fitness, ind.fitness);
-      gs.worst_fitness = std::min(gs.worst_fitness, ind.fitness);
-      sum += static_cast<double>(ind.fitness);
-      if (ind.fitness > result.best.fitness) result.best = ind;
-    }
-    gs.mean_fitness = sum / static_cast<double>(pop.size());
-    gs.best_ever_fitness = result.best.fitness;
-    if (track_history) {
-      gs.diversity = mean_pairwise_hamming(pop);
-      result.history.push_back(gs);
-    }
+  auto finish = [&] {
+    result.generations = state.generation;
+    result.evaluations = state.evaluations;
+    result.best = state.best;
+    result.history = state.history;
+    return result;
   };
 
-  update_best_and_stats(0);
-  if (target_fitness && result.best.fitness >= *target_fitness) {
+  if (target_fitness && state.best.fitness >= *target_fitness) {
     result.reached_target = true;
-    result.generations = 0;
-    result.evaluations = evaluations_;
-    return result;
+    return finish();
   }
 
-  for (std::uint64_t gen = 1; gen <= max_generations; ++gen) {
-    step_generation(pop, rng);
-    update_best_and_stats(gen);
-    result.generations = gen;
-    if (target_fitness && result.best.fitness >= *target_fitness) {
+  for (std::uint64_t gen = state.generation + 1; gen <= max_generations;
+       ++gen) {
+    step_generation(state.population, rng);
+    const GenerationStats gs = observe(state, gen, track_history);
+    state.generation = gen;
+    state.evaluations = evaluations_;
+    if (target_fitness && state.best.fitness >= *target_fitness) {
       result.reached_target = true;
       break;
     }
+    if (on_generation && !on_generation(gs)) break;
   }
-  result.evaluations = evaluations_;
-  return result;
+  return finish();
+}
+
+RunResult GaEngine::run(util::RandomSource& rng, std::uint64_t max_generations,
+                        std::optional<unsigned> target_fitness,
+                        bool track_history) {
+  EngineState state = start(rng, track_history);
+  return run_from(state, rng, max_generations, target_fitness, track_history);
 }
 
 }  // namespace leo::ga

@@ -57,6 +57,24 @@ struct RunResult {
   std::vector<GenerationStats> history;  ///< filled if params.track_history
 };
 
+/// Complete mid-run engine state. Owning it externally (rather than inside
+/// run()) is what makes evolutions suspendable: together with the RNG state
+/// it is everything needed to continue a run bit-for-bit, so the serve
+/// layer can checkpoint it to disk and resume later.
+struct EngineState {
+  Population population;
+  Individual best;                 ///< best individual ever seen
+  std::uint64_t generation = 0;    ///< generations executed so far
+  std::uint64_t evaluations = 0;   ///< fitness evaluations so far
+  std::vector<GenerationStats> history;  ///< filled when tracking history
+};
+
+/// Called after each completed generation with its statistics. Returning
+/// false stops the run at this generation boundary (cooperative
+/// cancellation / checkpoint hook); the EngineState stays valid and
+/// run_from() can be called again to continue.
+using StepCallback = std::function<bool(const GenerationStats&)>;
+
 class GaEngine {
  public:
   /// Operators default to the paper's: tournament(selection_threshold),
@@ -70,9 +88,24 @@ class GaEngine {
 
   /// Runs until `target_fitness` is reached (if set) or `max_generations`
   /// elapse. `track_history` stores one GenerationStats per generation.
+  /// Equivalent to start() followed by run_from().
   RunResult run(util::RandomSource& rng, std::uint64_t max_generations,
                 std::optional<unsigned> target_fitness,
                 bool track_history = false);
+
+  /// Creates and evaluates the initial population (generation 0), drawing
+  /// from `rng` exactly as run() does.
+  EngineState start(util::RandomSource& rng, bool track_history = false);
+
+  /// Advances `state` until the target is reached, `max_generations` total
+  /// generations elapse (an absolute count including generations already in
+  /// `state`), or `on_generation` returns false. Resuming a stopped state
+  /// with the same rng stream continues the identical run.
+  RunResult run_from(EngineState& state, util::RandomSource& rng,
+                     std::uint64_t max_generations,
+                     std::optional<unsigned> target_fitness,
+                     bool track_history = false,
+                     const StepCallback& on_generation = {});
 
   /// One generation on an explicit population (exposed for testing and
   /// for lock-step comparison against the hardware GAP).
@@ -85,6 +118,10 @@ class GaEngine {
 
  private:
   void evaluate(Population& pop);
+  /// Scans the population, updates state.best, and returns this
+  /// generation's statistics (appending to state.history when tracking).
+  GenerationStats observe(EngineState& state, std::uint64_t generation,
+                          bool track_history);
 
   GaParams params_;
   FitnessFn fitness_;

@@ -1,0 +1,37 @@
+#include "serve/cache.hpp"
+
+namespace leo::serve {
+
+std::optional<core::EvolutionResult> ResultCache::lookup(std::uint64_t key) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void ResultCache::insert(std::uint64_t key,
+                         const core::EvolutionResult& result) {
+  const std::scoped_lock lock(mutex_);
+  map_.insert_or_assign(key, result);
+}
+
+CacheStats ResultCache::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return CacheStats{hits_, misses_, map_.size()};
+}
+
+std::size_t ResultCache::size() const {
+  const std::scoped_lock lock(mutex_);
+  return map_.size();
+}
+
+void ResultCache::clear() {
+  const std::scoped_lock lock(mutex_);
+  map_.clear();
+}
+
+}  // namespace leo::serve

@@ -1,0 +1,50 @@
+// cache.hpp — deterministic result cache for the evolution service.
+//
+// evolve() is deterministic in (seed, config), so a completed run's
+// EvolutionResult can be replayed for any later job with the same
+// canonical config key (serve::config_key). Sweeps that revisit the same
+// operating point — e.g. the paper's pop 32 / 0.8 / 0.7 / 15 point, which
+// appears on every axis of the parameter sweep — become cache hits instead
+// of re-running the engine. Only *complete* runs (target reached or
+// config.max_generations exhausted) are inserted; budget-suspended or
+// cancelled partial results never pollute the cache.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "core/evolution_engine.hpp"
+
+namespace leo::serve {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t entries = 0;
+};
+
+/// Thread-safe key → EvolutionResult map with hit/miss accounting.
+class ResultCache {
+ public:
+  /// Returns the cached result for `key`, counting a hit or miss.
+  [[nodiscard]] std::optional<core::EvolutionResult> lookup(std::uint64_t key);
+
+  /// Inserts (or overwrites — results are deterministic, so any overwrite
+  /// is a no-op in value) the result for `key`.
+  void insert(std::uint64_t key, const core::EvolutionResult& result);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, core::EvolutionResult> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace leo::serve

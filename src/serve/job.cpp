@@ -1,0 +1,107 @@
+#include "serve/job.hpp"
+
+#include <stdexcept>
+
+namespace leo::serve {
+
+const char* to_string(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kSucceeded: return "succeeded";
+    case JobState::kSuspended: return "suspended";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+detail::Job& deref(const std::shared_ptr<detail::Job>& job) {
+  if (!job) throw std::logic_error("JobHandle: empty handle");
+  return *job;
+}
+
+}  // namespace
+
+std::uint64_t JobHandle::id() const { return deref(job_).id; }
+
+std::uint64_t JobHandle::cache_key() const { return deref(job_).cache_key; }
+
+JobState JobHandle::state() const {
+  detail::Job& job = deref(job_);
+  const std::scoped_lock lock(job.mutex);
+  return job.state;
+}
+
+JobProgress JobHandle::progress() const {
+  detail::Job& job = deref(job_);
+  const std::scoped_lock lock(job.mutex);
+  return job.progress;
+}
+
+bool JobHandle::from_cache() const {
+  detail::Job& job = deref(job_);
+  const std::scoped_lock lock(job.mutex);
+  return job.from_cache;
+}
+
+std::uint64_t JobHandle::completion_index() const {
+  detail::Job& job = deref(job_);
+  const std::scoped_lock lock(job.mutex);
+  return job.completion_index;
+}
+
+std::string JobHandle::error() const {
+  detail::Job& job = deref(job_);
+  const std::scoped_lock lock(job.mutex);
+  return job.error;
+}
+
+core::EvolutionResult JobHandle::wait() {
+  detail::Job& job = deref(job_);
+  std::unique_lock lock(job.mutex);
+  job.cv.wait(lock, [&job] { return is_terminal(job.state); });
+  if (job.state == JobState::kFailed) {
+    throw std::runtime_error("job " + std::to_string(job.id) +
+                             " failed: " + job.error);
+  }
+  return job.result;
+}
+
+void JobHandle::cancel() {
+  detail::Job& job = deref(job_);
+  job.cancel_requested.store(true, std::memory_order_relaxed);
+  const std::scoped_lock lock(job.mutex);
+  if (job.state == JobState::kQueued) {
+    job.state = JobState::kCancelled;
+    job.cv.notify_all();
+  }
+}
+
+Snapshot JobHandle::checkpoint() {
+  detail::Job& job = deref(job_);
+  std::unique_lock lock(job.mutex);
+  if (!is_terminal(job.state)) {
+    const std::uint64_t seq = job.snapshot_seq;
+    job.checkpoint_requested.store(true, std::memory_order_relaxed);
+    job.cv.wait(lock, [&job, seq] {
+      return job.snapshot_seq != seq || is_terminal(job.state);
+    });
+  }
+  if (!job.snapshot) {
+    throw std::runtime_error("job " + std::to_string(job.id) +
+                             ": no snapshot available (" +
+                             to_string(job.state) + ")");
+  }
+  return *job.snapshot;
+}
+
+std::optional<Snapshot> JobHandle::snapshot() const {
+  detail::Job& job = deref(job_);
+  const std::scoped_lock lock(job.mutex);
+  return job.snapshot;
+}
+
+}  // namespace leo::serve

@@ -1,0 +1,149 @@
+// job.hpp — evolution jobs: options, lifecycle states, and the handle the
+// submitter polls.
+//
+// Lifecycle:
+//
+//   kQueued ──────────────► kCancelled        (cancelled before starting)
+//      │ popped by a worker
+//      ▼
+//   kRunning ─► kSucceeded                    (target reached, or
+//      │                                       config.max_generations done)
+//      ├──────► kSuspended                    (generation budget exhausted;
+//      │                                       snapshot available → resume)
+//      ├──────► kCancelled                    (cooperative cancel; software
+//      │                                       jobs carry a snapshot)
+//      └──────► kFailed                       (exception; error() set)
+//
+// Jobs that hit the result cache go straight to kSucceeded without ever
+// occupying a worker (from_cache() == true).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/evolution_engine.hpp"
+#include "serve/checkpoint.hpp"
+
+namespace leo::serve {
+
+enum class JobState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kSucceeded,
+  kSuspended,
+  kCancelled,
+  kFailed,
+};
+
+[[nodiscard]] const char* to_string(JobState state) noexcept;
+
+/// True for states in which the job will never run again.
+[[nodiscard]] constexpr bool is_terminal(JobState state) noexcept {
+  return state != JobState::kQueued && state != JobState::kRunning;
+}
+
+struct JobOptions {
+  /// Higher runs first; ties run in submission order.
+  int priority = 0;
+  /// Absolute generation ceiling (0 = none). A job stopped by its budget
+  /// ends kSuspended with a snapshot instead of kSucceeded.
+  std::uint64_t generation_budget = 0;
+  /// Consult/populate the deterministic result cache.
+  bool use_cache = true;
+};
+
+/// Point-in-time progress of a running job.
+struct JobProgress {
+  std::uint64_t generation = 0;
+  unsigned best_fitness = 0;
+};
+
+namespace detail {
+
+/// Shared state between EvolutionService (writer) and JobHandle (reader).
+/// Mutable fields are guarded by `mutex`; the two request flags are
+/// lock-free atomics because the runner polls them every generation.
+struct Job {
+  Job(std::uint64_t id_in, core::EvolutionConfig config_in,
+      JobOptions options_in, std::uint64_t cache_key_in)
+      : id(id_in),
+        config(std::move(config_in)),
+        options(options_in),
+        cache_key(cache_key_in) {}
+
+  const std::uint64_t id;
+  const core::EvolutionConfig config;
+  const JobOptions options;
+  const std::uint64_t cache_key;
+  /// Set for jobs created by EvolutionService::resume().
+  std::optional<Snapshot> resume_from;
+
+  std::atomic<bool> cancel_requested{false};
+  std::atomic<bool> checkpoint_requested{false};
+
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  JobState state = JobState::kQueued;
+  JobProgress progress;
+  core::EvolutionResult result;
+  std::string error;
+  bool from_cache = false;
+  std::uint64_t completion_index = 0;
+  std::optional<Snapshot> snapshot;
+  std::uint64_t snapshot_seq = 0;  ///< bumped on every capture
+};
+
+}  // namespace detail
+
+/// Shared-ownership view of a submitted job. Copyable; all methods are
+/// thread-safe. Handles outlive the service only in terminal states (the
+/// service cancels live jobs on destruction).
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return job_ != nullptr; }
+  [[nodiscard]] std::uint64_t id() const;
+  [[nodiscard]] std::uint64_t cache_key() const;
+  [[nodiscard]] JobState state() const;
+  [[nodiscard]] JobProgress progress() const;
+  [[nodiscard]] bool from_cache() const;
+  /// Monotone completion stamp (1, 2, ...) assigned when a job reaches a
+  /// terminal state; 0 while live. Exposes scheduling order to callers.
+  [[nodiscard]] std::uint64_t completion_index() const;
+  /// Error message; empty unless state() == kFailed.
+  [[nodiscard]] std::string error() const;
+
+  /// Blocks until the job is terminal. Returns the (possibly partial)
+  /// result for kSucceeded / kSuspended / kCancelled; throws
+  /// std::runtime_error for kFailed.
+  core::EvolutionResult wait();
+
+  /// Requests cooperative cancellation; returns immediately. Queued jobs
+  /// cancel instantly, running jobs at the next generation boundary.
+  void cancel();
+
+  /// Captures a snapshot at the next generation boundary and blocks until
+  /// it is available (or the job became terminal). The run continues
+  /// unaffected. Throws for jobs that cannot snapshot (hardware backend,
+  /// cache hits, failed jobs).
+  Snapshot checkpoint();
+
+  /// Latest captured snapshot, if any: an explicit checkpoint(), or the
+  /// final state a software job leaves behind on suspend/cancel/success.
+  [[nodiscard]] std::optional<Snapshot> snapshot() const;
+
+ private:
+  friend class EvolutionService;
+  explicit JobHandle(std::shared_ptr<detail::Job> job)
+      : job_(std::move(job)) {}
+
+  std::shared_ptr<detail::Job> job_;
+};
+
+}  // namespace leo::serve

@@ -1,0 +1,263 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/config_hash.hpp"
+
+namespace leo::serve {
+
+bool schedule_before(const detail::Job& a, const detail::Job& b) {
+  if (a.options.priority != b.options.priority) {
+    return a.options.priority > b.options.priority;
+  }
+  return a.id < b.id;
+}
+
+namespace {
+
+/// std heap comparator: "less" means scheduled later.
+bool heap_less(const std::shared_ptr<detail::Job>& a,
+               const std::shared_ptr<detail::Job>& b) {
+  return schedule_before(*b, *a);
+}
+
+}  // namespace
+
+EvolutionService::EvolutionService(std::size_t threads) : pool_(threads) {}
+
+EvolutionService::~EvolutionService() {
+  std::vector<std::weak_ptr<detail::Job>> live;
+  {
+    const std::scoped_lock lock(mutex_);
+    shutting_down_ = true;
+    live = std::move(live_jobs_);
+  }
+  for (const auto& weak : live) {
+    if (const auto job = weak.lock()) {
+      job->cancel_requested.store(true, std::memory_order_relaxed);
+      const std::scoped_lock lock(job->mutex);
+      if (job->state == JobState::kQueued) {
+        // The worker task will still pop it and mark completion order.
+        job->cv.notify_all();
+      }
+    }
+  }
+  // pool_ is the last member, so its destructor runs first: it drains the
+  // queued run_next() tasks (which observe the cancel flags) and joins.
+}
+
+JobHandle EvolutionService::submit(const core::EvolutionConfig& config,
+                                   JobOptions options) {
+  std::shared_ptr<detail::Job> job;
+  {
+    const std::scoped_lock lock(mutex_);
+    if (shutting_down_) {
+      throw std::runtime_error("EvolutionService: submit after shutdown");
+    }
+    job = std::make_shared<detail::Job>(next_id_++, config, options,
+                                        config_key(config));
+  }
+
+  if (options.use_cache) {
+    if (auto cached = cache_.lookup(job->cache_key)) {
+      const std::scoped_lock job_lock(job->mutex);
+      job->result = std::move(*cached);
+      job->from_cache = true;
+      job->state = JobState::kSucceeded;
+      job->completion_index =
+          completions_.fetch_add(1, std::memory_order_relaxed) + 1;
+      job->cv.notify_all();
+      return JobHandle(job);
+    }
+  }
+  return enqueue(std::move(job));
+}
+
+JobHandle EvolutionService::resume(const Snapshot& snapshot,
+                                   JobOptions options) {
+  if (snapshot.config.backend != core::Backend::kSoftware) {
+    throw std::invalid_argument(
+        "EvolutionService::resume: only software-backend snapshots are "
+        "resumable");
+  }
+  if (config_key(snapshot.config) != snapshot.config_key) {
+    throw std::invalid_argument(
+        "EvolutionService::resume: snapshot key mismatch");
+  }
+  std::shared_ptr<detail::Job> job;
+  {
+    const std::scoped_lock lock(mutex_);
+    if (shutting_down_) {
+      throw std::runtime_error("EvolutionService: resume after shutdown");
+    }
+    job = std::make_shared<detail::Job>(next_id_++, snapshot.config, options,
+                                        snapshot.config_key);
+  }
+  job->resume_from = snapshot;
+  return enqueue(std::move(job));
+}
+
+JobHandle EvolutionService::enqueue(std::shared_ptr<detail::Job> job) {
+  {
+    const std::scoped_lock lock(mutex_);
+    queue_.push_back(job);
+    std::push_heap(queue_.begin(), queue_.end(), heap_less);
+    live_jobs_.push_back(job);
+  }
+  pool_.submit([this] { run_next(); });
+  return JobHandle(std::move(job));
+}
+
+void EvolutionService::run_next() {
+  std::shared_ptr<detail::Job> job;
+  {
+    const std::scoped_lock lock(mutex_);
+    if (queue_.empty()) return;
+    std::pop_heap(queue_.begin(), queue_.end(), heap_less);
+    job = std::move(queue_.back());
+    queue_.pop_back();
+  }
+  {
+    const std::scoped_lock job_lock(job->mutex);
+    if (job->state != JobState::kQueued) return;  // cancelled while queued
+    if (job->cancel_requested.load(std::memory_order_relaxed)) {
+      job->state = JobState::kCancelled;
+      job->completion_index =
+          completions_.fetch_add(1, std::memory_order_relaxed) + 1;
+      job->cv.notify_all();
+      return;
+    }
+    job->state = JobState::kRunning;
+  }
+  run_job(*job);
+}
+
+void EvolutionService::run_job(detail::Job& job) {
+  try {
+    if (job.config.backend == core::Backend::kSoftware) {
+      run_software_job(job);
+    } else {
+      run_hardware_job(job);
+    }
+  } catch (const std::exception& e) {
+    {
+      const std::scoped_lock lock(job.mutex);
+      job.error = e.what();
+    }
+    finish(job, JobState::kFailed);
+  }
+}
+
+void EvolutionService::run_software_job(detail::Job& job) {
+  core::EvolutionSession session =
+      job.resume_from
+          ? core::EvolutionSession(job.config, job.resume_from->state,
+                                   job.resume_from->rng_state)
+          : core::EvolutionSession(job.config);
+
+  core::RunControl control;
+  control.generation_budget = job.options.generation_budget;
+  control.should_stop = [&job] {
+    return job.cancel_requested.load(std::memory_order_relaxed) ||
+           job.checkpoint_requested.load(std::memory_order_relaxed);
+  };
+  control.on_progress = [&job](std::uint64_t generation, unsigned best) {
+    const std::scoped_lock lock(job.mutex);
+    job.progress = JobProgress{generation, best};
+  };
+
+  core::EvolutionResult result;
+  for (;;) {
+    result = session.run(control);
+    // A checkpoint request stops the run at the next generation boundary;
+    // capture the state, then keep running — checkpoints do not perturb
+    // the evolution (same engine state, same RNG stream).
+    if (job.checkpoint_requested.load(std::memory_order_relaxed)) {
+      const Snapshot snap = make_snapshot(session);
+      {
+        const std::scoped_lock lock(job.mutex);
+        job.snapshot = snap;
+        ++job.snapshot_seq;
+        job.checkpoint_requested.store(false, std::memory_order_relaxed);
+        job.cv.notify_all();
+      }
+      const bool budget_hit = job.options.generation_budget != 0 &&
+                              result.generations >=
+                                  job.options.generation_budget;
+      if (!result.reached_target &&
+          !job.cancel_requested.load(std::memory_order_relaxed) &&
+          !budget_hit && result.generations < job.config.max_generations) {
+        continue;
+      }
+    }
+    break;
+  }
+
+  // Leave the final state behind so suspended/cancelled jobs can be
+  // resumed and succeeded jobs can seed warm starts.
+  {
+    const Snapshot snap = make_snapshot(session);
+    const std::scoped_lock lock(job.mutex);
+    job.snapshot = snap;
+    ++job.snapshot_seq;
+    job.result = result;
+    job.progress = JobProgress{result.generations, result.best_fitness};
+  }
+
+  JobState state = JobState::kSucceeded;
+  if (job.cancel_requested.load(std::memory_order_relaxed)) {
+    state = JobState::kCancelled;
+  } else if (!result.reached_target &&
+             result.generations < job.config.max_generations) {
+    state = JobState::kSuspended;  // stopped by the generation budget
+  }
+
+  if (state == JobState::kSucceeded && job.options.use_cache) {
+    cache_.insert(job.cache_key, result);
+  }
+  finish(job, state);
+}
+
+void EvolutionService::run_hardware_job(detail::Job& job) {
+  core::RunControl control;
+  control.generation_budget = job.options.generation_budget;
+  control.should_stop = [&job] {
+    return job.cancel_requested.load(std::memory_order_relaxed);
+  };
+  control.on_progress = [&job](std::uint64_t generation, unsigned best) {
+    const std::scoped_lock lock(job.mutex);
+    job.progress = JobProgress{generation, best};
+  };
+
+  const core::EvolutionResult result = core::evolve(job.config, control);
+  {
+    const std::scoped_lock lock(job.mutex);
+    job.result = result;
+    job.progress = JobProgress{result.generations, result.best_fitness};
+  }
+
+  JobState state = JobState::kSucceeded;
+  if (job.cancel_requested.load(std::memory_order_relaxed)) {
+    state = JobState::kCancelled;
+  } else if (!result.reached_target && job.options.generation_budget != 0 &&
+             result.generations >= job.options.generation_budget) {
+    state = JobState::kSuspended;  // budget hit; hardware has no snapshot
+  }
+  if (state == JobState::kSucceeded && job.options.use_cache) {
+    cache_.insert(job.cache_key, result);
+  }
+  finish(job, state);
+}
+
+void EvolutionService::finish(detail::Job& job, JobState state) {
+  const std::scoped_lock lock(job.mutex);
+  job.state = state;
+  job.completion_index =
+      completions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  job.cv.notify_all();
+}
+
+}  // namespace leo::serve

@@ -1,0 +1,83 @@
+// scheduler.hpp — EvolutionService: evolutions as first-class async jobs.
+//
+// The paper's headline numbers are statistics over fleets of independent
+// evolutions ("an average of about 2000 generations"), and every related
+// workload — behavioural repertoires, controller-parameter sweeps — runs
+// thousands of (config, seed) points. The service turns the blocking
+// core::evolve() call into a job system:
+//
+//   * a priority queue scheduled onto util::ThreadPool (higher priority
+//     first, FIFO within a priority);
+//   * job handles with status/progress polling and blocking wait();
+//   * cooperative cancellation and per-job generation budgets (deadlines),
+//     threaded into ga::GaEngine and the RTL GAP loop via core::RunControl;
+//   * checkpoint/resume: software jobs can be snapshotted at any
+//     generation boundary and resumed — bit-identical to an uninterrupted
+//     run — in this service, another service, or another process
+//     (serve::save_snapshot / load_snapshot);
+//   * a deterministic result cache keyed by serve::config_key, legitimate
+//     because evolve() is deterministic in (seed, config).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/evolution_engine.hpp"
+#include "serve/cache.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/job.hpp"
+#include "util/thread_pool.hpp"
+
+namespace leo::serve {
+
+/// Scheduling order: higher priority first, then submission (id) order.
+/// Exposed for testing.
+[[nodiscard]] bool schedule_before(const detail::Job& a, const detail::Job& b);
+
+class EvolutionService {
+ public:
+  /// `threads == 0` uses all hardware threads.
+  explicit EvolutionService(std::size_t threads = 0);
+
+  /// Cancels every live job cooperatively, waits for workers to drain,
+  /// then returns. Outstanding handles stay valid (terminal).
+  ~EvolutionService();
+
+  EvolutionService(const EvolutionService&) = delete;
+  EvolutionService& operator=(const EvolutionService&) = delete;
+
+  /// Enqueues one evolution. Cache hits complete immediately without
+  /// occupying a worker.
+  JobHandle submit(const core::EvolutionConfig& config, JobOptions options = {});
+
+  /// Enqueues the continuation of a suspended run. Only software-backend
+  /// snapshots are resumable; throws std::invalid_argument otherwise.
+  JobHandle resume(const Snapshot& snapshot, JobOptions options = {});
+
+  [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
+  [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+  void clear_cache() { cache_.clear(); }
+
+ private:
+  JobHandle enqueue(std::shared_ptr<detail::Job> job);
+  void run_next();
+  void run_job(detail::Job& job);
+  void run_software_job(detail::Job& job);
+  void run_hardware_job(detail::Job& job);
+  void finish(detail::Job& job, JobState state);
+
+  mutable std::mutex mutex_;
+  bool shutting_down_ = false;
+  std::uint64_t next_id_ = 1;
+  std::atomic<std::uint64_t> completions_{0};
+  /// Max-heap by schedule_before (std::push_heap/pop_heap).
+  std::vector<std::shared_ptr<detail::Job>> queue_;
+  /// Every job ever submitted and not yet terminal at last sweep; used to
+  /// cancel live jobs on shutdown.
+  std::vector<std::weak_ptr<detail::Job>> live_jobs_;
+  ResultCache cache_;
+  util::ThreadPool pool_;  // last member: destroyed (joined) first
+};
+
+}  // namespace leo::serve

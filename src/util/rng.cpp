@@ -52,6 +52,13 @@ Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
+void Xoshiro256::set_state(const State& s) {
+  if ((s[0] | s[1] | s[2] | s[3]) == 0) {
+    throw std::invalid_argument("Xoshiro256::set_state: all-zero state");
+  }
+  s_ = s;
+}
+
 std::uint64_t Xoshiro256::next_u64() {
   const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

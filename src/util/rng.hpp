@@ -51,6 +51,10 @@ class SplitMix64 final : public RandomSource {
 /// Xoshiro256** 1.0 (Blackman & Vigna) — fast, 256-bit state, passes BigCrush.
 class Xoshiro256 final : public RandomSource {
  public:
+  /// Full generator state; exposed so a run can be checkpointed and
+  /// resumed bit-for-bit (serve::Snapshot stores these four words).
+  using State = std::array<std::uint64_t, 4>;
+
   explicit Xoshiro256(std::uint64_t seed) noexcept;
   std::uint64_t next_u64() override;
 
@@ -58,8 +62,13 @@ class Xoshiro256 final : public RandomSource {
   /// per-thread streams for parallel experiment sweeps.
   void long_jump() noexcept;
 
+  [[nodiscard]] State state() const noexcept { return s_; }
+  /// Restores a previously captured state. The all-zero state is the
+  /// generator's fixed point and is rejected.
+  void set_state(const State& s);
+
  private:
-  std::array<std::uint64_t, 4> s_;
+  State s_;
 };
 
 }  // namespace leo::util

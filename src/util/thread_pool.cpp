@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <stdexcept>
 
 namespace leo::util {
 
@@ -15,13 +16,17 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
   {
     const std::scoped_lock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -40,6 +45,10 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (stopping_) throw std::runtime_error("ThreadPool: parallel_for after stop");
+  }
   if (n == 0) return;
   // A shared atomic cursor gives dynamic load balancing; exceptions are
   // collected per index so the first (lowest-index) one is rethrown.

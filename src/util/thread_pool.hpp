@@ -27,6 +27,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Stops accepting work, drains already-queued tasks, and joins the
+  /// workers. Idempotent; called by the destructor. After stop(), submit()
+  /// and parallel_for() throw.
+  void stop();
+
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueues a task; the future resolves with its result (or exception).

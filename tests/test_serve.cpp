@@ -1,0 +1,470 @@
+// Tests for the evolution service: config keys, checkpoint round trips,
+// the deterministic result cache, and job scheduling/cancellation.
+#include "serve/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "serve/checkpoint.hpp"
+#include "serve/config_hash.hpp"
+#include "serve/trials.hpp"
+
+namespace leo::serve {
+namespace {
+
+core::EvolutionConfig base_config(std::uint64_t seed = 7) {
+  core::EvolutionConfig config;
+  config.backend = core::Backend::kSoftware;
+  config.seed = seed;
+  return config;
+}
+
+/// A config whose population can never improve: no crossover, no mutation.
+/// Used as a long-running blocker for scheduling tests (seed chosen so the
+/// random initial population does not contain an optimum — deterministic).
+core::EvolutionConfig stuck_config(std::uint64_t seed = 424242) {
+  core::EvolutionConfig config = base_config(seed);
+  config.ga.mutations_per_generation = 0;
+  config.ga.crossover_threshold = util::Prob8::from_double(0.0);
+  return config;
+}
+
+// ---- config keys -------------------------------------------------------
+
+TEST(ConfigKey, DeterministicForEqualConfigs) {
+  EXPECT_EQ(config_key(base_config()), config_key(base_config()));
+}
+
+TEST(ConfigKey, EveryFieldChangesTheKey) {
+  std::set<std::uint64_t> keys;
+  keys.insert(config_key(base_config()));
+
+  std::vector<core::EvolutionConfig> variants;
+  auto vary = [&](auto mutate) {
+    core::EvolutionConfig c = base_config();
+    mutate(c);
+    variants.push_back(c);
+  };
+  vary([](auto& c) { c.backend = core::Backend::kHardware; });
+  vary([](auto& c) { c.seed = 8; });
+  vary([](auto& c) { c.max_generations = 99; });
+  vary([](auto& c) { c.track_history = true; });
+  vary([](auto& c) { c.spec.w_equilibrium = 4; });
+  vary([](auto& c) { c.spec.w_symmetry = 5; });
+  vary([](auto& c) { c.spec.w_coherence = 6; });
+  vary([](auto& c) { c.spec.w_support = 7; });
+  vary([](auto& c) { c.spec.use_equilibrium = false; });
+  vary([](auto& c) { c.spec.use_symmetry = false; });
+  vary([](auto& c) { c.spec.use_coherence = false; });
+  vary([](auto& c) { c.spec.use_support = true; });
+  vary([](auto& c) { c.ga.population_size = 64; });
+  vary([](auto& c) { c.ga.genome_bits = 40; });
+  vary([](auto& c) { c.ga.selection_threshold = util::Prob8::from_double(0.5); });
+  vary([](auto& c) { c.ga.crossover_threshold = util::Prob8::from_double(0.5); });
+  vary([](auto& c) { c.ga.mutations_per_generation = 16; });
+  vary([](auto& c) { c.ga.elitism = true; });
+  vary([](auto& c) { c.gap.population_size = 64; });
+  vary([](auto& c) { c.gap.genome_bits = 40; });
+  vary([](auto& c) { c.gap.selection_threshold = util::Prob8::from_double(0.5); });
+  vary([](auto& c) { c.gap.crossover_threshold = util::Prob8::from_double(0.5); });
+  vary([](auto& c) { c.gap.mutations_per_generation = 16; });
+  vary([](auto& c) { c.gap.pipelined = false; });
+  vary([](auto& c) { c.gap.target_fitness = 59; });
+
+  for (const auto& v : variants) keys.insert(config_key(v));
+  EXPECT_EQ(keys.size(), variants.size() + 1)
+      << "some config field does not reach the cache key";
+}
+
+TEST(ConfigKey, EncodeDecodeRoundTrip) {
+  core::EvolutionConfig config = base_config(123);
+  config.ga.elitism = true;
+  config.spec.use_support = true;
+  config.max_generations = 777;
+
+  const std::vector<std::uint8_t> bytes = encode_config(config);
+  detail::ByteReader reader(bytes);
+  const core::EvolutionConfig back = decode_config(reader);
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_EQ(config_key(back), config_key(config));
+  EXPECT_EQ(back.seed, config.seed);
+  EXPECT_EQ(back.ga.elitism, true);
+  EXPECT_EQ(back.spec.use_support, true);
+  EXPECT_EQ(back.max_generations, 777u);
+}
+
+// ---- checkpoint round trip ---------------------------------------------
+
+TEST(Checkpoint, SerializeDeserializeRoundTrip) {
+  core::EvolutionSession session(base_config(21));
+  core::RunControl control;
+  control.generation_budget = 5;
+  (void)session.run(control);
+
+  const Snapshot snap = make_snapshot(session);
+  const std::vector<std::uint8_t> bytes = serialize_snapshot(snap);
+  const Snapshot back = deserialize_snapshot(bytes);
+
+  EXPECT_EQ(back.config_key, snap.config_key);
+  EXPECT_EQ(back.rng_state, snap.rng_state);
+  EXPECT_EQ(back.state.generation, snap.state.generation);
+  EXPECT_EQ(back.state.evaluations, snap.state.evaluations);
+  EXPECT_EQ(back.state.best.genome, snap.state.best.genome);
+  EXPECT_EQ(back.state.best.fitness, snap.state.best.fitness);
+  ASSERT_EQ(back.state.population.size(), snap.state.population.size());
+  for (std::size_t i = 0; i < snap.state.population.size(); ++i) {
+    EXPECT_EQ(back.state.population[i].genome, snap.state.population[i].genome);
+    EXPECT_EQ(back.state.population[i].fitness,
+              snap.state.population[i].fitness);
+  }
+}
+
+TEST(Checkpoint, RejectsCorruptInput) {
+  core::EvolutionSession session(base_config(3));
+  std::vector<std::uint8_t> bytes = serialize_snapshot(make_snapshot(session));
+
+  EXPECT_THROW(deserialize_snapshot({}), std::runtime_error);
+
+  std::vector<std::uint8_t> bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(deserialize_snapshot(bad_magic), std::runtime_error);
+
+  std::vector<std::uint8_t> truncated(bytes.begin(), bytes.end() - 9);
+  EXPECT_THROW(deserialize_snapshot(truncated), std::runtime_error);
+
+  std::vector<std::uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_THROW(deserialize_snapshot(trailing), std::runtime_error);
+
+  // Flip a config byte: the stored key no longer matches the content.
+  std::vector<std::uint8_t> tampered = bytes;
+  tampered[25] ^= 0x01;  // inside the config block
+  EXPECT_THROW(deserialize_snapshot(tampered), std::runtime_error);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  core::EvolutionSession session(base_config(9));
+  core::RunControl control;
+  control.generation_budget = 3;
+  (void)session.run(control);
+  const Snapshot snap = make_snapshot(session);
+
+  const std::string path = ::testing::TempDir() + "leo_snapshot_test.bin";
+  save_snapshot(path, snap);
+  const Snapshot back = load_snapshot(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(serialize_snapshot(back), serialize_snapshot(snap));
+  EXPECT_THROW(load_snapshot(path + ".does-not-exist"), std::runtime_error);
+}
+
+/// The acceptance criterion: suspend mid-run, resume (through a full
+/// binary round trip), and reach a bit-identical EvolutionResult — same
+/// best genome, generations, evaluations — as the uninterrupted run.
+TEST(Checkpoint, ResumeIsBitIdenticalToUninterruptedRun) {
+  const core::EvolutionConfig config = base_config(21);
+
+  core::EvolutionSession uninterrupted(config);
+  const core::EvolutionResult full = uninterrupted.run();
+  ASSERT_TRUE(full.reached_target);
+  ASSERT_GT(full.generations, 8u) << "seed converges too fast to interrupt";
+
+  core::EvolutionSession first_half(config);
+  core::RunControl budget;
+  budget.generation_budget = full.generations / 2;
+  const core::EvolutionResult partial = first_half.run(budget);
+  ASSERT_FALSE(partial.reached_target);
+  ASSERT_EQ(partial.generations, full.generations / 2);
+
+  const Snapshot snap =
+      deserialize_snapshot(serialize_snapshot(make_snapshot(first_half)));
+  core::EvolutionSession resumed(snap.config, snap.state, snap.rng_state);
+  const core::EvolutionResult finished = resumed.run();
+
+  EXPECT_TRUE(finished.reached_target);
+  EXPECT_EQ(finished.best_genome, full.best_genome);
+  EXPECT_EQ(finished.best_fitness, full.best_fitness);
+  EXPECT_EQ(finished.generations, full.generations);
+  EXPECT_EQ(finished.evaluations, full.evaluations);
+}
+
+TEST(Checkpoint, ResumePreservesTrackedHistory) {
+  core::EvolutionConfig config = base_config(33);
+  config.track_history = true;
+
+  core::EvolutionSession uninterrupted(config);
+  const core::EvolutionResult full = uninterrupted.run();
+  ASSERT_GT(full.generations, 4u);
+
+  core::EvolutionSession half(config);
+  core::RunControl budget;
+  budget.generation_budget = full.generations / 2;
+  (void)half.run(budget);
+  const Snapshot snap = make_snapshot(half);
+  core::EvolutionSession resumed(snap.config, snap.state, snap.rng_state);
+  const core::EvolutionResult finished = resumed.run();
+
+  ASSERT_EQ(finished.history.size(), full.history.size());
+  for (std::size_t i = 0; i < full.history.size(); ++i) {
+    EXPECT_EQ(finished.history[i].best_fitness, full.history[i].best_fitness);
+    EXPECT_EQ(finished.history[i].diversity, full.history[i].diversity);
+  }
+}
+
+// ---- the service -------------------------------------------------------
+
+TEST(Service, SubmitMatchesDirectEvolve) {
+  const core::EvolutionConfig config = base_config(7);
+  const core::EvolutionResult direct = core::evolve(config);
+
+  EvolutionService service(2);
+  JobHandle handle = service.submit(config);
+  const core::EvolutionResult served = handle.wait();
+
+  EXPECT_EQ(handle.state(), JobState::kSucceeded);
+  EXPECT_FALSE(handle.from_cache());
+  EXPECT_EQ(served.best_genome, direct.best_genome);
+  EXPECT_EQ(served.generations, direct.generations);
+  EXPECT_EQ(served.evaluations, direct.evaluations);
+}
+
+TEST(Service, HardwareJobMatchesDirectEvolve) {
+  core::EvolutionConfig config = base_config(7);
+  config.backend = core::Backend::kHardware;
+  const core::EvolutionResult direct = core::evolve(config);
+
+  EvolutionService service(1);
+  JobHandle handle = service.submit(config);
+  const core::EvolutionResult served = handle.wait();
+
+  EXPECT_EQ(handle.state(), JobState::kSucceeded);
+  EXPECT_EQ(served.best_genome, direct.best_genome);
+  EXPECT_EQ(served.generations, direct.generations);
+  EXPECT_EQ(served.clock_cycles, direct.clock_cycles);
+}
+
+/// Acceptance criterion: identical (config, seed) → cached result, no
+/// engine re-run.
+TEST(Service, ResubmittingIdenticalJobHitsTheCache) {
+  const core::EvolutionConfig config = base_config(11);
+  EvolutionService service(2);
+
+  JobHandle first = service.submit(config);
+  const core::EvolutionResult a = first.wait();
+  EXPECT_FALSE(first.from_cache());
+  EXPECT_EQ(service.cache_stats().hits, 0u);
+  EXPECT_EQ(service.cache_stats().misses, 1u);
+  EXPECT_EQ(service.cache_stats().entries, 1u);
+
+  JobHandle second = service.submit(config);
+  const core::EvolutionResult b = second.wait();
+  EXPECT_TRUE(second.from_cache());
+  EXPECT_EQ(second.state(), JobState::kSucceeded);
+  EXPECT_EQ(service.cache_stats().hits, 1u);
+  EXPECT_EQ(service.cache_stats().misses, 1u);
+  EXPECT_EQ(b.best_genome, a.best_genome);
+  EXPECT_EQ(b.generations, a.generations);
+  EXPECT_EQ(b.evaluations, a.evaluations);
+
+  // A different seed is a different key: miss, not hit.
+  JobHandle third = service.submit(base_config(12));
+  (void)third.wait();
+  EXPECT_FALSE(third.from_cache());
+  EXPECT_EQ(service.cache_stats().misses, 2u);
+}
+
+TEST(Service, CacheCanBeBypassedAndCleared) {
+  const core::EvolutionConfig config = base_config(13);
+  EvolutionService service(2);
+  (void)service.submit(config).wait();
+
+  JobOptions no_cache;
+  no_cache.use_cache = false;
+  JobHandle fresh = service.submit(config, no_cache);
+  (void)fresh.wait();
+  EXPECT_FALSE(fresh.from_cache());
+  EXPECT_EQ(service.cache_stats().hits, 0u);
+
+  service.clear_cache();
+  EXPECT_EQ(service.cache_stats().entries, 0u);
+}
+
+TEST(Service, BudgetSuspendsAndResumeCompletesBitIdentically) {
+  const core::EvolutionConfig config = base_config(21);
+  const core::EvolutionResult full = core::evolve(config);
+  ASSERT_GT(full.generations, 8u);
+
+  EvolutionService service(2);
+  JobOptions budget;
+  budget.generation_budget = full.generations / 2;
+  budget.use_cache = false;
+  JobHandle paused = service.submit(config, budget);
+  const core::EvolutionResult partial = paused.wait();
+  EXPECT_EQ(paused.state(), JobState::kSuspended);
+  EXPECT_FALSE(partial.reached_target);
+  EXPECT_EQ(partial.generations, full.generations / 2);
+
+  const auto snap = paused.snapshot();
+  ASSERT_TRUE(snap.has_value());
+  JobHandle resumed = service.resume(*snap);
+  const core::EvolutionResult finished = resumed.wait();
+  EXPECT_EQ(resumed.state(), JobState::kSucceeded);
+  EXPECT_EQ(finished.best_genome, full.best_genome);
+  EXPECT_EQ(finished.generations, full.generations);
+  EXPECT_EQ(finished.evaluations, full.evaluations);
+}
+
+TEST(Service, CheckpointWhileRunningDoesNotPerturbTheRun) {
+  const core::EvolutionConfig config = stuck_config();
+  const std::uint64_t kBudget = 20'000;
+
+  EvolutionService service(1);
+  JobOptions options;
+  options.generation_budget = kBudget;
+  options.use_cache = false;
+  JobHandle job = service.submit(config, options);
+
+  // Capture a mid-run snapshot; the job keeps running to its budget.
+  const Snapshot mid = job.checkpoint();
+  EXPECT_LE(mid.state.generation, kBudget);
+  const core::EvolutionResult at_budget = job.wait();
+  EXPECT_EQ(job.state(), JobState::kSuspended);
+  EXPECT_EQ(at_budget.generations, kBudget);
+
+  // Resuming the mid-run snapshot to the same budget matches the
+  // checkpointed run exactly: checkpoints are observation, not mutation.
+  JobOptions rest = options;
+  JobHandle resumed = service.resume(mid, rest);
+  const core::EvolutionResult replay = resumed.wait();
+  EXPECT_EQ(replay.generations, at_budget.generations);
+  EXPECT_EQ(replay.best_genome, at_budget.best_genome);
+  EXPECT_EQ(replay.evaluations, at_budget.evaluations);
+}
+
+TEST(Service, CancelBeforeRunIsImmediate) {
+  EvolutionService service(1);
+  // Occupy the single worker so the second job stays queued.
+  JobOptions options;
+  options.use_cache = false;
+  options.generation_budget = 300'000;
+  JobHandle blocker = service.submit(stuck_config(), options);
+  JobHandle queued = service.submit(base_config(50), options);
+
+  queued.cancel();
+  EXPECT_EQ(queued.state(), JobState::kCancelled);
+  blocker.cancel();
+  (void)blocker.wait();
+  EXPECT_EQ(blocker.state(), JobState::kCancelled);
+  (void)queued.wait();  // terminal: returns immediately
+}
+
+TEST(Service, CancelRunningJobStopsPromptlyWithSnapshot) {
+  EvolutionService service(1);
+  JobOptions options;
+  options.use_cache = false;
+  options.generation_budget = 2'000'000;
+  JobHandle job = service.submit(stuck_config(), options);
+  while (job.state() == JobState::kQueued) std::this_thread::yield();
+
+  job.cancel();
+  const core::EvolutionResult partial = job.wait();
+  EXPECT_EQ(job.state(), JobState::kCancelled);
+  EXPECT_LT(partial.generations, 2'000'000u);
+  EXPECT_TRUE(job.snapshot().has_value());
+}
+
+TEST(Service, PriorityOrdersQueuedJobs) {
+  // Comparator: higher priority first, FIFO within a priority.
+  const auto job = [](std::uint64_t id, int priority) {
+    JobOptions options;
+    options.priority = priority;
+    return detail::Job(id, core::EvolutionConfig{}, options, 0);
+  };
+  EXPECT_TRUE(schedule_before(job(2, 5), job(1, 0)));
+  EXPECT_FALSE(schedule_before(job(2, 0), job(1, 5)));
+  EXPECT_TRUE(schedule_before(job(1, 3), job(2, 3)));
+
+  // End to end: while a blocker occupies the single worker, a high-priority
+  // job submitted after a low-priority one must run (and finish) first.
+  EvolutionService service(1);
+  JobOptions blocker_opts;
+  blocker_opts.use_cache = false;
+  blocker_opts.generation_budget = 500'000;
+  JobHandle blocker = service.submit(stuck_config(), blocker_opts);
+
+  JobOptions low, high;
+  low.priority = 0;
+  high.priority = 9;
+  JobHandle low_job = service.submit(base_config(60), low);
+  JobHandle high_job = service.submit(base_config(61), high);
+  blocker.cancel();
+
+  (void)low_job.wait();
+  (void)high_job.wait();
+  EXPECT_LT(high_job.completion_index(), low_job.completion_index());
+}
+
+TEST(Service, FailedJobThrowsOnWait) {
+  EvolutionService service(1);
+  core::EvolutionConfig bad = base_config(1);
+  bad.ga.population_size = 7;  // GaEngine requires an even population
+  JobHandle job = service.submit(bad);
+  EXPECT_THROW((void)job.wait(), std::runtime_error);
+  EXPECT_EQ(job.state(), JobState::kFailed);
+  EXPECT_FALSE(job.error().empty());
+}
+
+TEST(Service, ResumeRejectsHardwareSnapshots) {
+  Snapshot snap;
+  snap.config.backend = core::Backend::kHardware;
+  snap.config_key = config_key(snap.config);
+  EvolutionService service(1);
+  EXPECT_THROW((void)service.resume(snap), std::invalid_argument);
+}
+
+TEST(Service, DestructorCancelsOutstandingJobs) {
+  JobHandle job;
+  {
+    EvolutionService service(1);
+    JobOptions options;
+    options.use_cache = false;
+    options.generation_budget = 2'000'000;
+    job = service.submit(stuck_config(), options);
+  }
+  EXPECT_TRUE(is_terminal(job.state()));
+}
+
+// ---- trials over the service -------------------------------------------
+
+TEST(Trials, MatchesPerSeedEvolveAndIsThreadCountInvariant) {
+  const core::EvolutionConfig config = base_config(0);
+  const TrialSummary a = run_trials(config, 6, 900, 1);
+  const TrialSummary b = run_trials(config, 6, 900, 4);
+  ASSERT_EQ(a.runs.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    core::EvolutionConfig trial = config;
+    trial.seed = 900 + i;
+    const core::EvolutionResult direct = core::evolve(trial);
+    EXPECT_EQ(a.runs[i].best_genome, direct.best_genome);
+    EXPECT_EQ(a.runs[i].generations, direct.generations);
+    EXPECT_EQ(b.runs[i].best_genome, direct.best_genome);
+    EXPECT_EQ(b.runs[i].generations, direct.generations);
+  }
+}
+
+TEST(Trials, SharedServiceCachesRepeatedSweepPoints) {
+  const core::EvolutionConfig config = base_config(0);
+  EvolutionService service(2);
+  const TrialSummary a = run_trials_on(service, config, 4, 100);
+  const TrialSummary b = run_trials_on(service, config, 4, 100);
+  EXPECT_EQ(service.cache_stats().hits, 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.runs[i].best_genome, b.runs[i].best_genome);
+  }
+}
+
+}  // namespace
+}  // namespace leo::serve

@@ -90,5 +90,82 @@ TEST(ThreadPool, ManySmallTasks) {
   EXPECT_EQ(sum, 499LL * 500 / 2);
 }
 
+TEST(ThreadPool, SubmitAfterStopThrows) {
+  ThreadPool pool(2);
+  pool.stop();
+  EXPECT_THROW((void)pool.submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForAfterStopThrows) {
+  ThreadPool pool(2);
+  pool.stop();
+  EXPECT_THROW(pool.parallel_for(4, [](std::size_t) {}), std::runtime_error);
+}
+
+TEST(ThreadPool, StopIsIdempotentAndDrainsQueuedWork) {
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&] { done.fetch_add(1); }));
+  }
+  pool.stop();
+  pool.stop();  // second stop must be a no-op, not a crash or deadlock
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, SingleThreadParallelForIsCorrect) {
+  ThreadPool pool(1);
+  std::vector<int> hits(257, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(hits.size()));
+}
+
+TEST(ThreadPool, SingleThreadParallelForRethrows) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.parallel_for(8, [](std::size_t i) {
+        if (i == 3) throw std::logic_error("three");
+      }),
+      std::logic_error);
+}
+
+TEST(ThreadPool, ParallelForEveryIndexThrowingRethrowsIndexZero) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(64, [](std::size_t i) {
+      throw std::runtime_error("fail " + std::to_string(i));
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "fail 0");
+  }
+}
+
+TEST(ThreadPool, ParallelForPreservesExceptionTypeOfLowestIndex) {
+  // When different indices throw different types, the rethrown exception is
+  // the lowest index's, not merely whichever worker finished first.
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(50, [](std::size_t i) {
+      if (i == 7) throw std::invalid_argument("first");
+      if (i == 40) throw std::out_of_range("second");
+    });
+    FAIL() << "expected exception";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPool, UsableAcrossManyConstructDestroyCycles) {
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    ThreadPool pool(2);
+    auto f = pool.submit([cycle] { return cycle; });
+    EXPECT_EQ(f.get(), cycle);
+  }
+}
+
 }  // namespace
 }  // namespace leo::util
