@@ -11,18 +11,32 @@
 // evaluation search in a 6.9e10 space) holds.
 //
 //   ./bench_convergence [sw-trials] [hw-trials] [csv-path]
+//   ./bench_convergence --iters N          # N software / max(1, N/4) hw trials
+//
+// Emits BENCH_ga.json (shared runner; see bench_harness.hpp): the paper's
+// headline numbers as leo_bench_ga_* gauges plus the instrumented layers'
+// own counters, so the perf trajectory accumulates run over run.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_harness.hpp"
 #include "core/experiment.hpp"
+#include "obs/metrics.hpp"
 #include "util/csv.hpp"
 
-int main(int argc, char** argv) {
+namespace leo::bench {
+
+const char* bench_name() { return "ga"; }
+
+int bench_run(const Options& options) {
   using namespace leo;
-  const std::size_t sw_trials =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 100;
-  const std::size_t hw_trials =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 25;
+  std::size_t sw_trials = options.iters ? options.iters : 100;
+  std::size_t hw_trials =
+      options.iters ? std::max<std::uint64_t>(1, options.iters / 4) : 25;
+  const auto& argv = options.args;
+  if (argv.size() > 0) sw_trials = std::strtoull(argv[0].c_str(), nullptr, 0);
+  if (argv.size() > 1) hw_trials = std::strtoull(argv[1].c_str(), nullptr, 0);
 
   std::printf("E1 — generations to maximum fitness "
               "(paper: \"an average of about 2000 generations\")\n\n");
@@ -51,8 +65,8 @@ int main(int argc, char** argv) {
               "6.9e10 genomes — %s\n",
               sw_sum.evaluations.mean() < 1e6 ? "REPRODUCED" : "NOT met");
 
-  if (argc > 3) {
-    util::CsvWriter csv(argv[3], {"backend", "seed", "generations",
+  if (argv.size() > 2) {
+    util::CsvWriter csv(argv[2], {"backend", "seed", "generations",
                                   "evaluations", "cycles"});
     for (std::size_t i = 0; i < sw_sum.runs.size(); ++i) {
       csv.row({"software", std::to_string(1 + i),
@@ -65,7 +79,19 @@ int main(int argc, char** argv) {
                std::to_string(hw_sum.runs[i].evaluations),
                std::to_string(hw_sum.runs[i].clock_cycles)});
     }
-    std::printf("wrote %s\n", argv[3]);
+    std::printf("wrote %s\n", argv[2].c_str());
   }
+
+  auto& reg = obs::registry();
+  reg.gauge("leo_bench_ga_sw_trials").set(static_cast<double>(sw_trials));
+  reg.gauge("leo_bench_ga_hw_trials").set(static_cast<double>(hw_trials));
+  reg.gauge("leo_bench_ga_sw_generations_mean").set(sw_sum.generations.mean());
+  reg.gauge("leo_bench_ga_sw_evaluations_mean").set(sw_sum.evaluations.mean());
+  reg.gauge("leo_bench_ga_hw_generations_mean").set(hw_sum.generations.mean());
+  reg.gauge("leo_bench_ga_hw_cycles_mean").set(hw_sum.clock_cycles.mean());
+  reg.gauge("leo_bench_ga_hw_seconds_at_1mhz_mean")
+      .set(hw_sum.clock_cycles.mean() / 1e6);
   return 0;
 }
+
+}  // namespace leo::bench

@@ -12,17 +12,30 @@
 // phase per generation.
 //
 //   ./bench_pipeline_speedup [seeds]
+//   ./bench_pipeline_speedup --iters N     # N seeds
+//
+// Emits BENCH_pipeline.json (shared runner; see bench_harness.hpp) with
+// the measured speedup and per-phase cycle costs as leo_bench_pipeline_*
+// gauges.
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_harness.hpp"
 #include "gap/gap_top.hpp"
+#include "obs/metrics.hpp"
 #include "rtl/simulator.hpp"
 #include "util/stats.hpp"
 
-int main(int argc, char** argv) {
+namespace leo::bench {
+
+const char* bench_name() { return "pipeline"; }
+
+int bench_run(const Options& options) {
   using namespace leo;
-  const std::uint64_t seeds =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 12;
+  std::uint64_t seeds = options.iters ? options.iters : 12;
+  if (!options.args.empty()) {
+    seeds = std::strtoull(options.args[0].c_str(), nullptr, 0);
+  }
 
   std::printf("E7 — selection+crossover pipelining (paper: \"a factor of "
               "about two\")\n\n");
@@ -71,5 +84,17 @@ int main(int argc, char** argv) {
               "overlapping them hides the shorter pass: measured %.2fx "
               "on the phase. The\npaper's exact microarchitecture is "
               "unpublished; a balanced one reaches 2x.\n", ratio);
+
+  auto& reg = obs::registry();
+  reg.gauge("leo_bench_pipeline_seeds").set(static_cast<double>(seeds));
+  reg.gauge("leo_bench_pipeline_speedup").set(ratio);
+  reg.gauge("leo_bench_pipeline_pipelined_cycles_per_gen")
+      .set(pipe_per_gen.mean());
+  reg.gauge("leo_bench_pipeline_sequential_cycles_per_gen")
+      .set(seq_per_gen.mean());
+  reg.gauge("leo_bench_pipeline_pipelined_total_cycles").set(pipe_total.mean());
+  reg.gauge("leo_bench_pipeline_sequential_total_cycles").set(seq_total.mean());
   return 0;
 }
+
+}  // namespace leo::bench

@@ -6,9 +6,11 @@
 //   discipulus_cli analyze <genome>       classification + rule breakdown
 //   discipulus_cli resources              FPGA utilization report
 //   discipulus_cli disasm-firmware        list the MCU16 GA firmware
-//   discipulus_cli serve [threads]        interactive evolution job service
+//   discipulus_cli serve [threads] [telemetry.jsonl]
+//                                         interactive evolution job service
 //   discipulus_cli submit <seeds...>      batch-evolve seeds via the service
 //   discipulus_cli status <snapshot>      describe a checkpoint file
+//   discipulus_cli stats [seed]           evolve once, dump the telemetry
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +29,8 @@
 #include "fpga/xc4000.hpp"
 #include "genome/gait_analysis.hpp"
 #include "genome/gait_genome.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "robot/walker.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/config_hash.hpp"
@@ -45,9 +49,12 @@ int usage() {
                "  analyze <genome>    classification and rule breakdown\n"
                "  resources           FPGA utilization of the full design\n"
                "  disasm-firmware     disassemble the MCU16 GA firmware\n"
-               "  serve [threads]     interactive evolution job service\n"
+               "  serve [threads] [telemetry.jsonl]\n"
+               "                      interactive evolution job service\n"
                "  submit <seeds...>   batch-evolve seeds via the service\n"
-               "  status <snapshot>   describe a checkpoint file\n");
+               "  status <snapshot>   describe a checkpoint file\n"
+               "  stats [seed]        evolve once, dump the telemetry "
+               "registry\n");
   return 2;
 }
 
@@ -122,8 +129,16 @@ void print_cache_stats(const serve::EvolutionService& service) {
 
 /// Interactive job service: a tiny line-oriented REPL over an
 /// EvolutionService, mirroring what a robot-side daemon would expose.
-int cmd_serve(std::size_t threads) {
-  serve::EvolutionService service(threads);
+/// With a telemetry path, metric snapshots and structured log events
+/// stream to that file as JSON lines while the service runs.
+int cmd_serve(std::size_t threads, const std::string& telemetry_path) {
+  serve::TelemetryOptions telemetry;
+  if (!telemetry_path.empty()) {
+    telemetry.sink = std::make_shared<obs::JsonLinesSink>(telemetry_path);
+    telemetry.capture_logs = true;
+    std::printf("streaming telemetry to %s\n", telemetry_path.c_str());
+  }
+  serve::EvolutionService service(threads, telemetry);
   std::map<std::uint64_t, serve::JobHandle> jobs;
   std::uint64_t next_id = 1;
 
@@ -135,6 +150,7 @@ int cmd_serve(std::size_t threads) {
               "  checkpoint <id> <file>       snapshot a job to disk\n"
               "  resume <file>                resume a snapshot file\n"
               "  cache                        result-cache statistics\n"
+              "  stats                        dump the metrics registry\n"
               "  quit\n",
               service.threads());
 
@@ -193,6 +209,9 @@ int cmd_serve(std::size_t threads) {
                     static_cast<unsigned long long>(next_id++));
       } else if (cmd == "cache") {
         print_cache_stats(service);
+      } else if (cmd == "stats") {
+        std::printf("%s", obs::pretty_print(obs::registry().snapshot())
+                              .c_str());
       } else {
         std::printf("unknown command: %s\n", cmd.c_str());
       }
@@ -243,6 +262,21 @@ int cmd_snapshot_status(const char* path) {
   }
 }
 
+/// One instrumented software-GA run, then the whole registry: the fastest
+/// way to see what the observability layer records (DESIGN.md §10).
+int cmd_stats(std::uint64_t seed) {
+  core::EvolutionConfig config;
+  config.seed = seed;
+  const core::EvolutionResult r = core::evolve(config);
+  std::printf("seed %llu: %s in %llu generations, best genome %09llx\n\n",
+              static_cast<unsigned long long>(seed),
+              r.reached_target ? "converged" : "stopped",
+              static_cast<unsigned long long>(r.generations),
+              static_cast<unsigned long long>(r.best_genome));
+  std::printf("%s", obs::pretty_print(obs::registry().snapshot()).c_str());
+  return 0;
+}
+
 int cmd_play(std::uint64_t bits) {
   show_genome(bits);
   robot::Walker walker(robot::kLeonardoConfig, robot::flat_terrain());
@@ -291,7 +325,10 @@ int main(int argc, char** argv) {
   if (cmd == "serve") {
     const std::size_t threads =
         argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 0;
-    return cmd_serve(threads);
+    return cmd_serve(threads, argc > 3 ? argv[3] : "");
+  }
+  if (cmd == "stats") {
+    return cmd_stats(argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 1);
   }
   if (cmd == "submit" && argc > 2) {
     std::vector<std::uint64_t> seeds;

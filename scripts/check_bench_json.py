@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Schema check for the BENCH_*.json files the shared bench runner emits.
+
+Usage: check_bench_json.py FILE [FILE...]
+
+Validates, per file:
+  * top-level object with string "bench", int "schema" == 1, int "iters",
+    and object "metrics";
+  * metrics has counters/gauges/histograms maps of the right value types;
+  * every histogram is internally consistent: len(counts) == len(bounds)+1,
+    ascending bounds, sum(counts) == count;
+  * at least one metric was recorded (an empty report means the bench
+    never touched the registry — a wiring regression, not a tiny run).
+
+Exit code 0 iff every file passes. No dependencies beyond the stdlib.
+"""
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: FAIL: {message}")
+    return False
+
+
+def check_histogram(path, name, hist):
+    if not isinstance(hist, dict):
+        return fail(path, f"histogram {name} is not an object")
+    for key in ("bounds", "counts", "count", "sum"):
+        if key not in hist:
+            return fail(path, f"histogram {name} missing '{key}'")
+    bounds, counts = hist["bounds"], hist["counts"]
+    if not all(isinstance(b, (int, float)) for b in bounds):
+        return fail(path, f"histogram {name} has non-numeric bounds")
+    if sorted(bounds) != bounds or len(set(bounds)) != len(bounds):
+        return fail(path, f"histogram {name} bounds not strictly ascending")
+    if not all(isinstance(c, int) and c >= 0 for c in counts):
+        return fail(path, f"histogram {name} has bad bucket counts")
+    if len(counts) != len(bounds) + 1:
+        return fail(path, f"histogram {name}: len(counts) != len(bounds)+1")
+    if sum(counts) != hist["count"]:
+        return fail(path, f"histogram {name}: buckets sum {sum(counts)} "
+                          f"!= count {hist['count']}")
+    if not isinstance(hist["sum"], (int, float)):
+        return fail(path, f"histogram {name} has non-numeric sum")
+    return True
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, str(e))
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        return fail(path, "'bench' missing or not a non-empty string")
+    if doc.get("schema") != 1:
+        return fail(path, f"unsupported schema {doc.get('schema')!r}")
+    if not isinstance(doc.get("iters"), int) or doc["iters"] < 0:
+        return fail(path, "'iters' missing or not a non-negative int")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return fail(path, "'metrics' missing or not an object")
+
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    histograms = metrics.get("histograms", {})
+    for name, value in counters.items():
+        if not isinstance(value, int) or value < 0:
+            return fail(path, f"counter {name} is not a non-negative int")
+    for name, value in gauges.items():
+        if not isinstance(value, (int, float)):
+            return fail(path, f"gauge {name} is not numeric")
+    for name, hist in histograms.items():
+        if not check_histogram(path, name, hist):
+            return False
+    if not counters and not gauges and not histograms:
+        return fail(path, "no metrics recorded at all")
+
+    print(f"{path}: ok ({len(counters)} counters, {len(gauges)} gauges, "
+          f"{len(histograms)} histograms)")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    return 0 if all([check_file(p) for p in argv[1:]]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,8 +3,35 @@
 #include <stdexcept>
 
 #include "ga/diversity.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace leo::ga {
+
+namespace {
+
+/// Registry instruments, resolved once per process so per-generation
+/// telemetry is relaxed atomics only. Telemetry never draws from the run's
+/// RNG or alters operator order: an instrumented run evolves the
+/// bit-identical best genome of an uninstrumented one.
+struct GaMetrics {
+  obs::Counter& generations = obs::registry().counter("leo_ga_generations_total");
+  obs::Counter& evaluations = obs::registry().counter("leo_ga_evaluations_total");
+  obs::Counter& runs = obs::registry().counter("leo_ga_runs_total");
+  obs::Gauge& generation = obs::registry().gauge("leo_ga_generation");
+  obs::Gauge& best = obs::registry().gauge("leo_ga_best_fitness");
+  obs::Gauge& mean = obs::registry().gauge("leo_ga_mean_fitness");
+  obs::Gauge& worst = obs::registry().gauge("leo_ga_worst_fitness");
+  obs::Gauge& best_ever = obs::registry().gauge("leo_ga_best_ever_fitness");
+  obs::Gauge& diversity = obs::registry().gauge("leo_ga_diversity");
+
+  static GaMetrics& get() {
+    static GaMetrics instance;
+    return instance;
+  }
+};
+
+}  // namespace
 
 GaEngine::GaEngine(GaParams params, FitnessFn fitness)
     : params_(params),
@@ -37,10 +64,12 @@ void GaEngine::set_mutation(std::unique_ptr<MutationOp> op) {
 }
 
 void GaEngine::evaluate(Population& pop) {
+  obs::TraceSpan span("leo_ga_eval");
   for (auto& ind : pop) {
     ind.fitness = fitness_(ind.genome);
     ++evaluations_;
   }
+  if (obs::enabled()) GaMetrics::get().evaluations.inc(pop.size());
 }
 
 Population GaEngine::make_initial_population(util::RandomSource& rng) {
@@ -58,20 +87,26 @@ void GaEngine::step_generation(Population& pop, util::RandomSource& rng) {
   // pipelined pair of operators writing the second RAM).
   Population intermediate;
   intermediate.reserve(pop.size());
-  while (intermediate.size() < pop.size()) {
-    const std::size_t pa = selection_->select(pop, rng);
-    const std::size_t pb = selection_->select(pop, rng);
-    if (rng.next_bool_p8(params_.crossover_threshold.raw())) {
-      auto [ca, cb] = crossover_->apply(pop[pa].genome, pop[pb].genome, rng);
-      intermediate.push_back(Individual{std::move(ca), 0});
-      intermediate.push_back(Individual{std::move(cb), 0});
-    } else {
-      intermediate.push_back(Individual{pop[pa].genome, 0});
-      intermediate.push_back(Individual{pop[pb].genome, 0});
+  {
+    obs::TraceSpan span("leo_ga_selxover");
+    while (intermediate.size() < pop.size()) {
+      const std::size_t pa = selection_->select(pop, rng);
+      const std::size_t pb = selection_->select(pop, rng);
+      if (rng.next_bool_p8(params_.crossover_threshold.raw())) {
+        auto [ca, cb] = crossover_->apply(pop[pa].genome, pop[pb].genome, rng);
+        intermediate.push_back(Individual{std::move(ca), 0});
+        intermediate.push_back(Individual{std::move(cb), 0});
+      } else {
+        intermediate.push_back(Individual{pop[pa].genome, 0});
+        intermediate.push_back(Individual{pop[pb].genome, 0});
+      }
     }
   }
 
-  mutation_->apply(intermediate, rng);
+  {
+    obs::TraceSpan span("leo_ga_mutation");
+    mutation_->apply(intermediate, rng);
+  }
 
   if (params_.elitism) {
     // Preserve the best of the outgoing generation in slot 0.
@@ -106,6 +141,16 @@ GenerationStats GaEngine::observe(EngineState& state, std::uint64_t generation,
     gs.diversity = mean_pairwise_hamming(pop);
     state.history.push_back(gs);
   }
+  if (obs::enabled()) {
+    GaMetrics& m = GaMetrics::get();
+    if (generation > 0) m.generations.inc();
+    m.generation.set(static_cast<double>(generation));
+    m.best.set(static_cast<double>(gs.best_fitness));
+    m.worst.set(static_cast<double>(gs.worst_fitness));
+    m.mean.set(gs.mean_fitness);
+    m.best_ever.set(static_cast<double>(gs.best_ever_fitness));
+    if (track_history) m.diversity.set(gs.diversity);
+  }
   return gs;
 }
 
@@ -124,6 +169,7 @@ RunResult GaEngine::run_from(EngineState& state, util::RandomSource& rng,
                              std::optional<unsigned> target_fitness,
                              bool track_history,
                              const StepCallback& on_generation) {
+  if (obs::enabled()) GaMetrics::get().runs.inc();
   evaluations_ = state.evaluations;
 
   RunResult result;

@@ -1,10 +1,29 @@
 #include "rtl/simulator.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "rtl/vcd.hpp"
 
 namespace leo::rtl {
+
+namespace {
+
+/// Bulk-records a finished run() / run_until() burst. Instrumentation sits
+/// at burst granularity — never per cycle — so the simulator hot loop
+/// stays untouched and a disabled registry costs one relaxed load.
+void record_burst(std::uint64_t cycles, double wall_seconds) {
+  if (cycles == 0) return;
+  auto& reg = obs::registry();
+  reg.counter("leo_rtl_cycles_total").inc(cycles);
+  if (wall_seconds > 0.0) {
+    reg.gauge("leo_rtl_cycles_per_second")
+        .set(static_cast<double>(cycles) / wall_seconds);
+  }
+}
+
+}  // namespace
 
 Simulator::Simulator(Module& top) : top_(&top) {
   collect(top);
@@ -68,16 +87,42 @@ void Simulator::step() {
 }
 
 void Simulator::run(std::uint64_t n) {
+  if (!obs::enabled()) {
+    for (std::uint64_t i = 0; i < n; ++i) step();
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < n; ++i) step();
+  record_burst(n, std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count());
 }
 
 bool Simulator::run_until(const std::function<bool()>& done,
                           std::uint64_t max_cycles) {
+  if (!obs::enabled()) {
+    for (std::uint64_t i = 0; i < max_cycles; ++i) {
+      step();
+      if (done()) return true;
+    }
+    return done();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t first = cycles_;
+  bool reached = false;
   for (std::uint64_t i = 0; i < max_cycles; ++i) {
     step();
-    if (done()) return true;
+    if (done()) {
+      reached = true;
+      break;
+    }
   }
-  return done();
+  if (!reached) reached = done();
+  record_burst(cycles_ - first,
+               std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count());
+  return reached;
 }
 
 }  // namespace leo::rtl

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "serve/config_hash.hpp"
 
 namespace leo::serve {
@@ -83,7 +84,13 @@ std::vector<std::uint8_t> serialize_snapshot(const Snapshot& snapshot) {
     w.u32(gs.best_ever_fitness);
     w.f64(gs.diversity);
   }
-  return w.take();
+  std::vector<std::uint8_t> bytes = w.take();
+  if (obs::enabled()) {
+    obs::registry()
+        .counter("leo_serve_checkpoint_bytes_total")
+        .inc(bytes.size());
+  }
+  return bytes;
 }
 
 Snapshot deserialize_snapshot(const std::vector<std::uint8_t>& bytes) {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace leo::serve {
 
 const char* to_string(JobState state) noexcept {
@@ -36,9 +38,10 @@ JobState JobHandle::state() const {
 }
 
 JobProgress JobHandle::progress() const {
-  detail::Job& job = deref(job_);
-  const std::scoped_lock lock(job.mutex);
-  return job.progress;
+  // One acquire load of the packed word; see detail::pack_progress for
+  // why this is a consistent snapshot.
+  return detail::unpack_progress(
+      deref(job_).progress.load(std::memory_order_acquire));
 }
 
 bool JobHandle::from_cache() const {
@@ -76,6 +79,9 @@ void JobHandle::cancel() {
   const std::scoped_lock lock(job.mutex);
   if (job.state == JobState::kQueued) {
     job.state = JobState::kCancelled;
+    if (obs::enabled()) {
+      obs::registry().counter("leo_serve_jobs_cancelled_total").inc();
+    }
     job.cv.notify_all();
   }
 }

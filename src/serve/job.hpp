@@ -65,6 +65,31 @@ struct JobProgress {
 
 namespace detail {
 
+/// Progress is published as ONE packed atomic word — generation in the
+/// high 48 bits, best-ever fitness in the low 16 — so polling readers
+/// always get a mutually consistent (generation, fitness) pair without
+/// taking the job mutex on the runner's per-generation hot path.
+///
+/// Memory ordering: the runner stores with release, readers load with
+/// acquire. A reader that observes generation G therefore also observes
+/// every write the runner made before publishing G. Both fields are
+/// monotone non-decreasing over a job's life (generation counts up;
+/// fitness is best-ever), which the concurrent-poll test relies on.
+///
+/// 48 bits of generation is ~2.8e14 — far above any configured
+/// max_generations; fitness specs max out two orders of magnitude below
+/// the 16-bit cap.
+[[nodiscard]] constexpr std::uint64_t pack_progress(
+    std::uint64_t generation, unsigned best_fitness) noexcept {
+  return (generation << 16) | (best_fitness & 0xFFFFu);
+}
+
+[[nodiscard]] constexpr JobProgress unpack_progress(
+    std::uint64_t packed) noexcept {
+  return JobProgress{packed >> 16,
+                     static_cast<unsigned>(packed & 0xFFFFu)};
+}
+
 /// Shared state between EvolutionService (writer) and JobHandle (reader).
 /// Mutable fields are guarded by `mutex`; the two request flags are
 /// lock-free atomics because the runner polls them every generation.
@@ -85,11 +110,12 @@ struct Job {
 
   std::atomic<bool> cancel_requested{false};
   std::atomic<bool> checkpoint_requested{false};
+  /// See pack_progress() for the layout and ordering contract.
+  std::atomic<std::uint64_t> progress{0};
 
   mutable std::mutex mutex;
   std::condition_variable cv;
   JobState state = JobState::kQueued;
-  JobProgress progress;
   core::EvolutionResult result;
   std::string error;
   bool from_cache = false;

@@ -5,7 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "serve/config_hash.hpp"
+#include "util/log.hpp"
 
 namespace leo::serve {
 
@@ -24,11 +26,57 @@ bool heap_less(const std::shared_ptr<detail::Job>& a,
   return schedule_before(*b, *a);
 }
 
+/// Registry instruments resolved once; all updates are relaxed atomics.
+struct ServeMetrics {
+  obs::Counter& submitted = obs::registry().counter("leo_serve_jobs_submitted_total");
+  obs::Counter& resumed = obs::registry().counter("leo_serve_jobs_resumed_total");
+  obs::Counter& succeeded = obs::registry().counter("leo_serve_jobs_succeeded_total");
+  obs::Counter& suspended = obs::registry().counter("leo_serve_jobs_suspended_total");
+  obs::Counter& cancelled = obs::registry().counter("leo_serve_jobs_cancelled_total");
+  obs::Counter& failed = obs::registry().counter("leo_serve_jobs_failed_total");
+  obs::Counter& cache_hits = obs::registry().counter("leo_serve_cache_hits_total");
+  obs::Counter& cache_misses = obs::registry().counter("leo_serve_cache_misses_total");
+  obs::Counter& checkpoints = obs::registry().counter("leo_serve_checkpoints_total");
+  obs::Gauge& queue_depth = obs::registry().gauge("leo_serve_queue_depth");
+  obs::Gauge& jobs_running = obs::registry().gauge("leo_serve_jobs_running");
+
+  static ServeMetrics& get() {
+    static ServeMetrics instance;
+    return instance;
+  }
+};
+
+void count_terminal(JobState state) {
+  if (!obs::enabled()) return;
+  ServeMetrics& m = ServeMetrics::get();
+  switch (state) {
+    case JobState::kSucceeded: m.succeeded.inc(); break;
+    case JobState::kSuspended: m.suspended.inc(); break;
+    case JobState::kCancelled: m.cancelled.inc(); break;
+    case JobState::kFailed: m.failed.inc(); break;
+    case JobState::kQueued:
+    case JobState::kRunning: break;
+  }
+}
+
 }  // namespace
 
 EvolutionService::EvolutionService(std::size_t threads) : pool_(threads) {}
 
+EvolutionService::EvolutionService(std::size_t threads,
+                                   TelemetryOptions telemetry)
+    : pool_(threads) {
+  if (telemetry.sink) {
+    if (telemetry.capture_logs) {
+      log_hook_id_ = obs::attach_log_sink(telemetry.sink);
+    }
+    flusher_ = std::make_unique<obs::PeriodicFlusher>(
+        telemetry.sink, telemetry.flush_period);
+  }
+}
+
 EvolutionService::~EvolutionService() {
+  if (log_hook_id_ != 0) util::remove_log_hook(log_hook_id_);
   std::vector<std::weak_ptr<detail::Job>> live;
   {
     const std::scoped_lock lock(mutex_);
@@ -61,14 +109,25 @@ JobHandle EvolutionService::submit(const core::EvolutionConfig& config,
                                         config_key(config));
   }
 
+  if (obs::enabled()) ServeMetrics::get().submitted.inc();
   if (options.use_cache) {
-    if (auto cached = cache_.lookup(job->cache_key)) {
+    auto cached = cache_.lookup(job->cache_key);
+    if (obs::enabled()) {
+      (cached ? ServeMetrics::get().cache_hits
+              : ServeMetrics::get().cache_misses)
+          .inc();
+    }
+    if (cached) {
       const std::scoped_lock job_lock(job->mutex);
+      job->progress.store(
+          detail::pack_progress(cached->generations, cached->best_fitness),
+          std::memory_order_release);
       job->result = std::move(*cached);
       job->from_cache = true;
       job->state = JobState::kSucceeded;
       job->completion_index =
           completions_.fetch_add(1, std::memory_order_relaxed) + 1;
+      count_terminal(JobState::kSucceeded);
       job->cv.notify_all();
       return JobHandle(job);
     }
@@ -96,6 +155,7 @@ JobHandle EvolutionService::resume(const Snapshot& snapshot,
     job = std::make_shared<detail::Job>(next_id_++, snapshot.config, options,
                                         snapshot.config_key);
   }
+  if (obs::enabled()) ServeMetrics::get().resumed.inc();
   job->resume_from = snapshot;
   return enqueue(std::move(job));
 }
@@ -106,6 +166,9 @@ JobHandle EvolutionService::enqueue(std::shared_ptr<detail::Job> job) {
     queue_.push_back(job);
     std::push_heap(queue_.begin(), queue_.end(), heap_less);
     live_jobs_.push_back(job);
+    if (obs::enabled()) {
+      ServeMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
+    }
   }
   pool_.submit([this] { run_next(); });
   return JobHandle(std::move(job));
@@ -119,6 +182,9 @@ void EvolutionService::run_next() {
     std::pop_heap(queue_.begin(), queue_.end(), heap_less);
     job = std::move(queue_.back());
     queue_.pop_back();
+    if (obs::enabled()) {
+      ServeMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
+    }
   }
   {
     const std::scoped_lock job_lock(job->mutex);
@@ -127,12 +193,15 @@ void EvolutionService::run_next() {
       job->state = JobState::kCancelled;
       job->completion_index =
           completions_.fetch_add(1, std::memory_order_relaxed) + 1;
+      count_terminal(JobState::kCancelled);
       job->cv.notify_all();
       return;
     }
     job->state = JobState::kRunning;
   }
+  if (obs::enabled()) ServeMetrics::get().jobs_running.add(1.0);
   run_job(*job);
+  if (obs::enabled()) ServeMetrics::get().jobs_running.add(-1.0);
 }
 
 void EvolutionService::run_job(detail::Job& job) {
@@ -165,8 +234,9 @@ void EvolutionService::run_software_job(detail::Job& job) {
            job.checkpoint_requested.load(std::memory_order_relaxed);
   };
   control.on_progress = [&job](std::uint64_t generation, unsigned best) {
-    const std::scoped_lock lock(job.mutex);
-    job.progress = JobProgress{generation, best};
+    // Lock-free publication; see detail::pack_progress.
+    job.progress.store(detail::pack_progress(generation, best),
+                       std::memory_order_release);
   };
 
   core::EvolutionResult result;
@@ -177,6 +247,7 @@ void EvolutionService::run_software_job(detail::Job& job) {
     // the evolution (same engine state, same RNG stream).
     if (job.checkpoint_requested.load(std::memory_order_relaxed)) {
       const Snapshot snap = make_snapshot(session);
+      if (obs::enabled()) ServeMetrics::get().checkpoints.inc();
       {
         const std::scoped_lock lock(job.mutex);
         job.snapshot = snap;
@@ -200,11 +271,14 @@ void EvolutionService::run_software_job(detail::Job& job) {
   // resumed and succeeded jobs can seed warm starts.
   {
     const Snapshot snap = make_snapshot(session);
+    if (obs::enabled()) ServeMetrics::get().checkpoints.inc();
     const std::scoped_lock lock(job.mutex);
     job.snapshot = snap;
     ++job.snapshot_seq;
     job.result = result;
-    job.progress = JobProgress{result.generations, result.best_fitness};
+    job.progress.store(
+        detail::pack_progress(result.generations, result.best_fitness),
+        std::memory_order_release);
   }
 
   JobState state = JobState::kSucceeded;
@@ -228,15 +302,17 @@ void EvolutionService::run_hardware_job(detail::Job& job) {
     return job.cancel_requested.load(std::memory_order_relaxed);
   };
   control.on_progress = [&job](std::uint64_t generation, unsigned best) {
-    const std::scoped_lock lock(job.mutex);
-    job.progress = JobProgress{generation, best};
+    job.progress.store(detail::pack_progress(generation, best),
+                       std::memory_order_release);
   };
 
   const core::EvolutionResult result = core::evolve(job.config, control);
   {
     const std::scoped_lock lock(job.mutex);
     job.result = result;
-    job.progress = JobProgress{result.generations, result.best_fitness};
+    job.progress.store(
+        detail::pack_progress(result.generations, result.best_fitness),
+        std::memory_order_release);
   }
 
   JobState state = JobState::kSucceeded;
@@ -257,6 +333,7 @@ void EvolutionService::finish(detail::Job& job, JobState state) {
   job.state = state;
   job.completion_index =
       completions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  count_terminal(state);
   job.cv.notify_all();
 }
 

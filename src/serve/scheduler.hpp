@@ -19,17 +19,30 @@
 //     because evolve() is deterministic in (seed, config).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "core/evolution_engine.hpp"
+#include "obs/export.hpp"
 #include "serve/cache.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/job.hpp"
 #include "util/thread_pool.hpp"
 
 namespace leo::serve {
+
+/// Continuous telemetry export for a service. When `sink` is set the
+/// service owns an obs::PeriodicFlusher that snapshots the global metrics
+/// registry into it every `flush_period`, plus a final flush at shutdown;
+/// `capture_logs` additionally forwards util::log records to the sink as
+/// structured events for the service's lifetime.
+struct TelemetryOptions {
+  std::shared_ptr<obs::TelemetrySink> sink;
+  std::chrono::milliseconds flush_period{1000};
+  bool capture_logs = false;
+};
 
 /// Scheduling order: higher priority first, then submission (id) order.
 /// Exposed for testing.
@@ -39,6 +52,9 @@ class EvolutionService {
  public:
   /// `threads == 0` uses all hardware threads.
   explicit EvolutionService(std::size_t threads = 0);
+
+  /// As above, with continuous telemetry export (see TelemetryOptions).
+  EvolutionService(std::size_t threads, TelemetryOptions telemetry);
 
   /// Cancels every live job cooperatively, waits for workers to drain,
   /// then returns. Outstanding handles stay valid (terminal).
@@ -77,6 +93,12 @@ class EvolutionService {
   /// cancel live jobs on shutdown.
   std::vector<std::weak_ptr<detail::Job>> live_jobs_;
   ResultCache cache_;
+  /// Log-hook id from obs::attach_log_sink (0 = none); removed on
+  /// destruction before the flusher's final flush.
+  std::uint64_t log_hook_id_ = 0;
+  /// Declared before pool_ so it is destroyed after the pool joins — the
+  /// final flush sees every job's terminal state.
+  std::unique_ptr<obs::PeriodicFlusher> flusher_;
   util::ThreadPool pool_;  // last member: destroyed (joined) first
 };
 

@@ -1,14 +1,33 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <iostream>
+#include <memory>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 namespace leo::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_mutex;
+
+// Hook registry. Guarded by its own mutex; log_message copies the
+// shared_ptrs out and invokes them unlocked, so hooks can safely log or
+// mutate the registry without deadlocking.
+struct HookEntry {
+  std::uint64_t id;
+  std::shared_ptr<LogHook> hook;
+};
+std::mutex g_hooks_mutex;
+std::vector<HookEntry>& hooks() {
+  static std::vector<HookEntry> instance;
+  return instance;
+}
+std::uint64_t g_next_hook_id = 1;
+std::atomic<bool> g_have_hooks{false};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,12 +43,46 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
+std::uint64_t add_log_hook(LogHook hook) {
+  const std::scoped_lock lock(g_hooks_mutex);
+  const std::uint64_t id = g_next_hook_id++;
+  hooks().push_back({id, std::make_shared<LogHook>(std::move(hook))});
+  g_have_hooks.store(true, std::memory_order_release);
+  return id;
+}
+
+void remove_log_hook(std::uint64_t id) {
+  const std::scoped_lock lock(g_hooks_mutex);
+  auto& entries = hooks();
+  std::erase_if(entries, [id](const HookEntry& e) { return e.id == id; });
+  g_have_hooks.store(!entries.empty(), std::memory_order_release);
+}
+
 void log_message(LogLevel level, const std::string& tag,
                  const std::string& message) {
   if (level < g_level.load()) return;
-  const std::scoped_lock lock(g_mutex);
-  std::cerr << "[" << level_name(level) << "] " << tag << ": " << message
-            << "\n";
+  {
+    const std::scoped_lock lock(g_mutex);
+    std::cerr << "[" << level_name(level) << "] " << tag << ": " << message
+              << "\n";
+  }
+  // Cheap fast-path: no hooks, no record construction.
+  if (!g_have_hooks.load(std::memory_order_acquire)) return;
+
+  LogRecord record;
+  record.level = level;
+  record.tag = tag;
+  record.message = message;
+  record.unix_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+  std::vector<std::shared_ptr<LogHook>> active;
+  {
+    const std::scoped_lock lock(g_hooks_mutex);
+    active.reserve(hooks().size());
+    for (const HookEntry& e : hooks()) active.push_back(e.hook);
+  }
+  for (const auto& hook : active) (*hook)(record);
 }
 
 }  // namespace leo::util

@@ -5,6 +5,8 @@
 // traces for that.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -16,7 +18,27 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Emits "[LEVEL] tag: message" to stderr under a mutex.
+/// A structured view of one emitted message, handed to log hooks.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string tag;
+  std::string message;
+  /// Wall-clock microseconds since the Unix epoch at emit time.
+  std::int64_t unix_micros = 0;
+};
+
+using LogHook = std::function<void(const LogRecord&)>;
+
+/// Registers a hook invoked for every message that passes the level
+/// threshold, after the stderr write. Returns an id for remove_log_hook.
+/// Hooks are invoked outside the registration lock, so they may log or
+/// (un)register hooks themselves; a hook being removed concurrently may
+/// still see one in-flight record.
+std::uint64_t add_log_hook(LogHook hook);
+void remove_log_hook(std::uint64_t id);
+
+/// Emits "[LEVEL] tag: message" to stderr under a mutex, then feeds the
+/// registered hooks (structured telemetry taps; see obs::attach_log_sink).
 void log_message(LogLevel level, const std::string& tag,
                  const std::string& message);
 

@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "serve/checkpoint.hpp"
 #include "serve/config_hash.hpp"
@@ -435,6 +437,65 @@ TEST(Service, DestructorCancelsOutstandingJobs) {
     job = service.submit(stuck_config(), options);
   }
   EXPECT_TRUE(is_terminal(job.state()));
+}
+
+// ---- progress snapshots ------------------------------------------------
+
+TEST(Progress, PackUnpackRoundTrip) {
+  const JobProgress p = detail::unpack_progress(detail::pack_progress(12, 60));
+  EXPECT_EQ(p.generation, 12u);
+  EXPECT_EQ(p.best_fitness, 60u);
+
+  // 48-bit generation and 16-bit fitness limits hold exactly.
+  const std::uint64_t max_gen = (std::uint64_t{1} << 48) - 1;
+  const JobProgress big =
+      detail::unpack_progress(detail::pack_progress(max_gen, 0xFFFFu));
+  EXPECT_EQ(big.generation, max_gen);
+  EXPECT_EQ(big.best_fitness, 0xFFFFu);
+
+  // Fitness beyond 16 bits is masked, never smeared into the generation.
+  const JobProgress masked =
+      detail::unpack_progress(detail::pack_progress(3, 0x12'0007u));
+  EXPECT_EQ(masked.generation, 3u);
+  EXPECT_EQ(masked.best_fitness, 7u);
+}
+
+/// Progress is one packed atomic word, so a poller racing the runner must
+/// never observe a torn pair: generation and best-ever fitness are both
+/// monotone non-decreasing per the on_progress contract, and any snapshot
+/// mixing an old fitness with a new generation (or vice versa) would break
+/// that monotonicity. Hammer progress() from two threads while the job
+/// runs and assert both fields only ever move forward.
+TEST(Progress, ConcurrentPollSeesConsistentMonotoneSnapshots) {
+  EvolutionService service(1);
+  JobOptions options;
+  options.use_cache = false;
+  options.generation_budget = 5'000;
+  JobHandle job = service.submit(stuck_config(), options);
+
+  std::atomic<bool> done{false};
+  auto poll = [&job, &done] {
+    JobProgress last;
+    std::uint64_t samples = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      const JobProgress p = job.progress();
+      EXPECT_GE(p.generation, last.generation);
+      EXPECT_GE(p.best_fitness, last.best_fitness);
+      last = p;
+      ++samples;
+    }
+    EXPECT_GT(samples, 0u);
+    return last;
+  };
+  std::thread poller_a(poll);
+  std::thread poller_b(poll);
+  (void)job.wait();
+  done.store(true, std::memory_order_relaxed);
+  poller_a.join();
+  poller_b.join();
+
+  // The terminal store publishes the final generation count.
+  EXPECT_EQ(job.progress().generation, 5'000u);
 }
 
 // ---- trials over the service -------------------------------------------
