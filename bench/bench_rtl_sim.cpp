@@ -1,0 +1,131 @@
+// Event-driven vs dense RTL simulation on the full GAP.
+//
+// The GAP's per-cycle activity is a handful of modules out of dozens (one
+// FSM advances, one RAM port moves), so the dense settle — evaluate every
+// module, rescan every net, every pass, every cycle — does mostly wasted
+// work. The event kernel schedules only the fanout of nets that actually
+// changed; this bench runs the same full evolution (identical seed, so
+// bit-identical trajectories) under both kernels and reports cycles/sec.
+//
+//   ./bench_rtl_sim [seeds]
+//   ./bench_rtl_sim --iters N     # N seeds
+//
+// Emits BENCH_rtl.json (shared runner; see bench_harness.hpp) with the
+// speedup and both throughputs as leo_bench_rtl_* gauges. The run aborts
+// (nonzero exit) if the two modes disagree on any evolved genome,
+// fitness, generation count, or cycle count — the bench doubles as an
+// end-to-end equivalence check.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_harness.hpp"
+#include "gap/gap_top.hpp"
+#include "obs/metrics.hpp"
+#include "rtl/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace leo::bench {
+
+const char* bench_name() { return "rtl"; }
+
+namespace {
+
+struct RunResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t generations = 0;
+  std::uint64_t best_genome = 0;
+  unsigned best_fitness = 0;
+  std::uint64_t evaluations = 0;
+  double seconds = 0.0;
+  bool converged = false;
+};
+
+RunResult run_gap(std::uint64_t seed, rtl::SimMode mode) {
+  gap::GapParams params;
+  gap::GapTop top(nullptr, "gap", params, seed);
+  rtl::Simulator sim(top, mode);
+  RunResult r;
+  const auto start = std::chrono::steady_clock::now();
+  r.converged = sim.run_until([&] { return top.done.read(); }, 20'000'000);
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  r.cycles = sim.cycles();
+  r.generations = top.generation();
+  r.best_genome = top.best_genome();
+  r.best_fitness = top.best_fitness();
+  r.evaluations = sim.evaluations();
+  return r;
+}
+
+}  // namespace
+
+int bench_run(const Options& options) {
+  std::uint64_t seeds = options.iters ? options.iters : 8;
+  if (!options.args.empty()) {
+    seeds = std::strtoull(options.args[0].c_str(), nullptr, 0);
+  }
+
+  std::printf("RTL settle kernels — event-driven vs dense sweep on the "
+              "GAP\n\n");
+
+  util::RunningStats event_cps;
+  util::RunningStats dense_cps;
+  util::RunningStats evals_ratio;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const RunResult ev = run_gap(seed, rtl::SimMode::kEvent);
+    const RunResult de = run_gap(seed, rtl::SimMode::kDense);
+    if (!ev.converged || !de.converged) {
+      std::printf("seed %llu did not converge\n",
+                  static_cast<unsigned long long>(seed));
+      continue;
+    }
+    if (ev.cycles != de.cycles || ev.generations != de.generations ||
+        ev.best_genome != de.best_genome ||
+        ev.best_fitness != de.best_fitness) {
+      std::printf("MODE DIVERGENCE at seed %llu: "
+                  "event {cycles %llu gen %llu genome %09llx fit %u} vs "
+                  "dense {cycles %llu gen %llu genome %09llx fit %u}\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(ev.cycles),
+                  static_cast<unsigned long long>(ev.generations),
+                  static_cast<unsigned long long>(ev.best_genome),
+                  ev.best_fitness,
+                  static_cast<unsigned long long>(de.cycles),
+                  static_cast<unsigned long long>(de.generations),
+                  static_cast<unsigned long long>(de.best_genome),
+                  de.best_fitness);
+      return 1;
+    }
+    event_cps.add(static_cast<double>(ev.cycles) / ev.seconds);
+    dense_cps.add(static_cast<double>(de.cycles) / de.seconds);
+    evals_ratio.add(static_cast<double>(de.evaluations) /
+                    static_cast<double>(ev.evaluations));
+  }
+  if (event_cps.count() == 0) {
+    std::printf("no seed converged; nothing to report\n");
+    return 1;
+  }
+
+  const double speedup = event_cps.mean() / dense_cps.mean();
+  std::printf("identical results on %llu seed(s); throughput:\n",
+              static_cast<unsigned long long>(event_cps.count()));
+  std::printf("  event-driven: %10.0f cycles/sec (sd %.0f)\n",
+              event_cps.mean(), event_cps.stddev());
+  std::printf("  dense sweep : %10.0f cycles/sec (sd %.0f)\n",
+              dense_cps.mean(), dense_cps.stddev());
+  std::printf("  speedup     : %.2fx wall clock, %.1fx fewer evaluate() "
+              "calls\n", speedup, evals_ratio.mean());
+
+  auto& reg = obs::registry();
+  reg.gauge("leo_bench_rtl_seeds")
+      .set(static_cast<double>(event_cps.count()));
+  reg.gauge("leo_bench_rtl_speedup").set(speedup);
+  reg.gauge("leo_bench_rtl_event_cycles_per_sec").set(event_cps.mean());
+  reg.gauge("leo_bench_rtl_dense_cycles_per_sec").set(dense_cps.mean());
+  reg.gauge("leo_bench_rtl_evaluations_ratio").set(evals_ratio.mean());
+  return 0;
+}
+
+}  // namespace leo::bench

@@ -10,12 +10,24 @@ Validates, per file:
   * every histogram is internally consistent: len(counts) == len(bounds)+1,
     ascending bounds, sum(counts) == count;
   * at least one metric was recorded (an empty report means the bench
-    never touched the registry — a wiring regression, not a tiny run).
+    never touched the registry — a wiring regression, not a tiny run);
+  * benches with a known headline contract (REQUIRED_GAUGES) recorded
+    every gauge that contract promises.
 
 Exit code 0 iff every file passes. No dependencies beyond the stdlib.
 """
 import json
 import sys
+
+# Headline gauges a bench's JSON must contain, keyed by its "bench" id.
+# Benches not listed are only schema-checked.
+REQUIRED_GAUGES = {
+    "rtl": (
+        "leo_bench_rtl_speedup",
+        "leo_bench_rtl_event_cycles_per_sec",
+        "leo_bench_rtl_dense_cycles_per_sec",
+    ),
+}
 
 
 def fail(path, message):
@@ -79,6 +91,9 @@ def check_file(path):
             return False
     if not counters and not gauges and not histograms:
         return fail(path, "no metrics recorded at all")
+    for required in REQUIRED_GAUGES.get(doc["bench"], ()):
+        if required not in gauges:
+            return fail(path, f"required gauge {required} not recorded")
 
     print(f"{path}: ok ({len(counters)} counters, {len(gauges)} gauges, "
           f"{len(histograms)} histograms)")

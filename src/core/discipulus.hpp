@@ -53,6 +53,11 @@ class DiscipulusTop final : public rtl::Module {
 
   void evaluate() override;
 
+  [[nodiscard]] rtl::Sensitivity inputs() const override {
+    return {&gap_.done,        &gap_.best_genome_bus, &use_external_genome,
+            &external_genome,  &ground_sensors,       &obstacle_sensors};
+  }
+
   [[nodiscard]] gap::GapTop& gap() noexcept { return gap_; }
   [[nodiscard]] const gap::GapTop& gap() const noexcept { return gap_; }
   [[nodiscard]] WalkingController& controller() noexcept {

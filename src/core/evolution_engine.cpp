@@ -57,7 +57,7 @@ EvolutionResult evolve_hardware(const EvolutionConfig& config,
   gap::GapParams params = config.gap;
   params.target_fitness = config.spec.max_score();
   gap::GapTop top(nullptr, "gap", params, config.seed, config.spec);
-  rtl::Simulator sim(top);
+  rtl::Simulator sim(top, config.sim_mode);
 
   const std::uint64_t gen_limit = generation_limit(config, control);
   // Generous per-generation bound: init + eval + sel/xover + mutation with

@@ -19,6 +19,7 @@
 #include "fitness/rules.hpp"
 #include "ga/engine.hpp"
 #include "gap/gap_params.hpp"
+#include "rtl/simulator.hpp"
 #include "util/rng.hpp"
 
 namespace leo::core {
@@ -33,6 +34,9 @@ struct EvolutionConfig {
   std::uint64_t seed = 1;
   std::uint64_t max_generations = 100'000;
   bool track_history = false;   ///< software backend only
+  /// Hardware backend: settle kernel for the RTL simulation. Results are
+  /// bit-identical across modes (only wall-clock speed differs).
+  rtl::SimMode sim_mode = rtl::SimMode::kEvent;
 };
 
 struct EvolutionResult {

@@ -60,6 +60,12 @@ class WalkingController final : public rtl::Module {
   void evaluate() override;
   void clock_edge() override;
 
+  /// The decode path is genome x phase x held positions; `run` and the
+  /// sensors are read only in clock_edge() (or not at all).
+  [[nodiscard]] rtl::Sensitivity inputs() const override {
+    return {&genome, &phase_, &elevation_state_, &propulsion_state_};
+  }
+
   /// Servo target for a leg in the *current* phase, decoded from the
   /// genome bus (exposed so the robot-coupling layer can bypass the PWM
   /// path when running lock-step with the quasi-static walker).

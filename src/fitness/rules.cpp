@@ -1,5 +1,8 @@
 #include "fitness/rules.hpp"
 
+#include <array>
+#include <bit>
+
 namespace leo::fitness {
 
 namespace {
@@ -21,7 +24,7 @@ constexpr bool v_last(std::uint64_t g, unsigned step, unsigned leg) noexcept {
 
 }  // namespace
 
-RuleViolations count_violations(std::uint64_t g) noexcept {
+RuleViolations count_violations_reference(std::uint64_t g) noexcept {
   RuleViolations v;
 
   // R1 equilibrium: a side with all three legs raised in a settled pose.
@@ -67,6 +70,51 @@ RuleViolations count_violations(std::uint64_t g) noexcept {
     }
   }
 
+  return v;
+}
+
+namespace {
+
+/// Per-step lookup tables for the three rules that factor by step.
+/// `pose` packs a step's equilibrium count (0..4) in the low 3 bits and
+/// its support count (0..2) in the high bits; `coherence` is that step's
+/// count (0..6). 2 x 256 KiB, filled once from the reference loop (a
+/// step-only word scores zero for the other step, so the reference with
+/// step 1 = 0 gives exactly step 0's contribution).
+struct StepTables {
+  StepTables() noexcept {
+    for (std::uint32_t s = 0; s < kStepEntries; ++s) {
+      const RuleViolations v = count_violations_reference(s);
+      pose[s] = static_cast<std::uint8_t>(v.equilibrium | (v.support << 3));
+      coherence[s] = static_cast<std::uint8_t>(v.coherence);
+    }
+  }
+
+  static constexpr std::uint32_t kStepEntries = 1u << 18;
+  std::array<std::uint8_t, kStepEntries> pose;
+  std::array<std::uint8_t, kStepEntries> coherence;
+};
+
+/// Genome bits of one step's six horizontal fields (leg*3 + 1).
+constexpr std::uint32_t kHorizMask = 0b010'010'010'010'010'010;
+
+}  // namespace
+
+RuleViolations count_violations(std::uint64_t g) noexcept {
+  static const StepTables tables;  // magic static: built at first use
+  constexpr std::uint32_t kStepMask = (1u << 18) - 1;
+  const std::uint32_t lo = static_cast<std::uint32_t>(g) & kStepMask;
+  const std::uint32_t hi = static_cast<std::uint32_t>(g >> 18) & kStepMask;
+  const unsigned pose_lo = tables.pose[lo];
+  const unsigned pose_hi = tables.pose[hi];
+  RuleViolations v;
+  v.equilibrium = (pose_lo & 7u) + (pose_hi & 7u);
+  v.support = (pose_lo >> 3) + (pose_hi >> 3);
+  v.coherence = tables.coherence[lo] + tables.coherence[hi];
+  // R2 is the one cross-step rule: a leg violates unless its horizontal
+  // bits differ between steps.
+  v.symmetry = kNumLegs -
+               static_cast<unsigned>(std::popcount((lo ^ hi) & kHorizMask));
   return v;
 }
 

@@ -84,10 +84,19 @@ struct FitnessSpec {
 /// The configuration used by Discipulus Simplex (max score 60).
 inline constexpr FitnessSpec kDefaultSpec{};
 
-/// Counts violations directly on the packed 36-bit genome (the hot path —
-/// no decode, pure bit logic; this is the combinational function the
-/// hardware implements).
+/// Counts violations directly on the packed 36-bit genome — the hot path
+/// of every software-backend evaluation. Equilibrium, support and
+/// coherence depend only on one step's 18 bits, so they come out of two
+/// 2^18-entry tables built lazily at first use; symmetry is a popcount of
+/// the XOR of the two steps' horizontal bits. Bit-identical to
+/// count_violations_reference (tested exhaustively per step).
 [[nodiscard]] RuleViolations count_violations(std::uint64_t genome_bits) noexcept;
+
+/// The direct rule-by-rule loop implementation — the combinational
+/// function the hardware implements, kept as the oracle the LUT fast path
+/// (and the FPGA netlist) are checked against.
+[[nodiscard]] RuleViolations count_violations_reference(
+    std::uint64_t genome_bits) noexcept;
 
 /// Decoded-genome convenience overload (must agree with the bit version;
 /// tested exhaustively on random genomes).

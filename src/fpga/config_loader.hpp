@@ -42,6 +42,12 @@ class ConfigLoader final : public rtl::Module {
   void clock_edge() override;
   void reset() override;
 
+  /// The status decode and payload forwarding read only these two
+  /// registers; the whole shift pipeline lives in clock_edge().
+  [[nodiscard]] rtl::Sensitivity inputs() const override {
+    return {&state_, &payload_reg_};
+  }
+
   /// Replaces the ROM contents (takes effect at the next reset).
   void reprogram(util::BitVec rom);
 

@@ -31,6 +31,10 @@ class CaRngModule final : public rtl::Module {
   void clock_edge() override;
   void reset() override;
 
+  [[nodiscard]] rtl::Sensitivity inputs() const override {
+    return {&cells_};
+  }
+
   /// 16 FFs plus one LUT4 (XOR3 max) per cell.
   [[nodiscard]] rtl::ResourceTally own_resources() const override;
 

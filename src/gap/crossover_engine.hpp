@@ -46,6 +46,14 @@ class CrossoverEngine final : public rtl::Module {
   void evaluate() override;
   void clock_edge() override;
 
+  /// rand_word and basis_rdata are read only in clock_edge() and need no
+  /// declaration; the FIFO's `empty` gates the pop request and does.
+  [[nodiscard]] rtl::Sensitivity inputs() const override {
+    return {&state_,       &enable,    &pairs_done_, &parent_a_idx_,
+            &parent_b_idx_, &parent_a_, &parent_b_,   &do_cross_,
+            &cut_,          &out_index_, &fifo_->empty};
+  }
+
   /// Splice of `hi_from_b ? (a below cut | b at/above cut)`: the
   /// hardware's barrel of 2:1 muxes, one per genome bit.
   [[nodiscard]] std::uint64_t splice(std::uint64_t head, std::uint64_t tail,

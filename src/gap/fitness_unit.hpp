@@ -51,6 +51,10 @@ class FitnessUnit final : public rtl::Module {
 
   void evaluate() override;
 
+  [[nodiscard]] rtl::Sensitivity inputs() const override {
+    return {&genome};
+  }
+
   [[nodiscard]] const CombinationalFitness& fitness() const noexcept {
     return fitness_;
   }

@@ -55,6 +55,31 @@ class GapTop final : public rtl::Module {
   void evaluate() override;
   void clock_edge() override;
 
+  /// Both banks' rdata are declared (the bank bit muxes between them);
+  /// rng_.word and basis_rdata_mux_ are read only in clock_edge().
+  [[nodiscard]] rtl::Sensitivity inputs() const override {
+    return {&phase_,
+            &bank_,
+            &idx_,
+            &sub_,
+            &init_acc_,
+            &start_pulse_,
+            &mut_addr_,
+            &mut_bit_,
+            &best_genome_,
+            &best_fitness_,
+            &ram_a_.rdata,
+            &ram_b_.rdata,
+            &fitness_unit_.score,
+            &selection_.fitness_addr,
+            &crossover_.basis_addr,
+            &crossover_.inter_addr,
+            &crossover_.inter_we,
+            &crossover_.inter_wdata,
+            &crossover_.busy,
+            &fifo_.empty};
+  }
+
   // --- observability for experiments and tests ---
   enum class Phase : std::uint8_t {
     kInit = 0,

@@ -28,6 +28,10 @@ class PairFifo final : public rtl::Module {
   void evaluate() override;
   void clock_edge() override;
 
+  [[nodiscard]] rtl::Sensitivity inputs() const override {
+    return {&count_, &slot0_};
+  }
+
   [[nodiscard]] unsigned occupancy() const noexcept {
     return static_cast<unsigned>(count_.read());
   }

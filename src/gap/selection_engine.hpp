@@ -47,6 +47,12 @@ class SelectionEngine final : public rtl::Module {
   void evaluate() override;
   void clock_edge() override;
 
+  /// rand_word and fitness_rdata are read only in clock_edge(), which
+  /// runs every cycle regardless — they are deliberately not declared.
+  [[nodiscard]] rtl::Sensitivity inputs() const override {
+    return {&state_, &enable, &cand_a_, &cand_b_, &winner_a_};
+  }
+
   /// FSM + two index registers + fitness latch + pair counter; the
   /// comparator is ~4 LUT4s.
   [[nodiscard]] rtl::ResourceTally own_resources() const override;

@@ -5,12 +5,16 @@
 // rooted at a top module. Modules implement:
 //
 //   evaluate()   — combinational logic: read wires/regs, write wires.
-//                  Called repeatedly until all wires settle; must be
-//                  idempotent for a fixed set of inputs.
+//                  Called until all wires settle; must be idempotent for
+//                  a fixed set of inputs.
 //   clock_edge() — sequential logic: read wires/regs, call Reg::set_next.
 //                  Called exactly once per cycle, after settle.
 //   reset()      — module-specific state reset beyond registers
 //                  (registers reset automatically).
+//   inputs()     — sensitivity list: the nets evaluate() reads. Lets the
+//                  event-driven simulator re-run evaluate() only when one
+//                  of them changed; undeclared modules fall back to the
+//                  conservative "sensitive to everything" schedule.
 //
 // Modules also self-report FPGA resource usage (see ResourceTally): the
 // counts are per-module formulas documented at each override, and feed the
@@ -18,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -40,6 +45,38 @@ struct ResourceTally {
     ram_bits += o.ram_bits;
     return *this;
   }
+};
+
+/// Result of Module::inputs(): the sensitivity list for event-driven
+/// simulation.
+///
+///   * default-constructed (`declared == false`) — the module has not
+///     been ported; the simulator conservatively re-evaluates it whenever
+///     *any* net in the design changes (correct, never fast);
+///   * `Sensitivity{&a, &b, ...}` — evaluate() reads exactly these nets
+///     (wires or registers, own or foreign) and nothing else;
+///   * `Sensitivity::none()` — evaluate() reads no nets at all (pure
+///     sequential modules, constant drivers); it runs only at reset.
+///
+/// The contract is on *evaluate()* only: clock_edge() always runs every
+/// cycle, so nets read exclusively there never need declaring. An
+/// undeclared net that evaluate() does read makes event-driven results
+/// diverge from the dense sweep — the mode-equivalence tests exist to
+/// catch exactly that.
+struct Sensitivity {
+  Sensitivity() = default;
+  Sensitivity(std::initializer_list<const NetBase*> ns)
+      : declared(true), nets(ns) {}
+
+  /// Declared-empty: evaluate() is net-independent (or absent).
+  [[nodiscard]] static Sensitivity none() {
+    Sensitivity s;
+    s.declared = true;
+    return s;
+  }
+
+  bool declared = false;
+  std::vector<const NetBase*> nets;
 };
 
 class Module {
@@ -67,6 +104,11 @@ class Module {
   virtual void evaluate() {}
   virtual void clock_edge() {}
   virtual void reset() {}
+
+  /// Sensitivity list of evaluate() (see Sensitivity). Called once, at
+  /// simulator elaboration; the returned nets must outlive the module
+  /// (they are members of this design's module tree).
+  [[nodiscard]] virtual Sensitivity inputs() const { return {}; }
 
   /// Resources used by this module alone (excluding children). The default
   /// counts one FF per declared register bit; combinational overrides add

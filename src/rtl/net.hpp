@@ -12,6 +12,13 @@
 //              during clock_edge(); the simulator commits all registers
 //              simultaneously afterwards.
 //
+// Value changes are the simulator's event source: besides raising the
+// dirty flag, mark_dirty() notifies the attached NetEventListener (the
+// event-driven Simulator), which schedules exactly the modules whose
+// declared sensitivity list contains this net. With no listener attached
+// (dense mode, or a design not bound to a simulator) a change is just a
+// flag write, as before.
+//
 // T is an unsigned integral type; `width` (in bits) is declared explicitly
 // for value masking and VCD dumping.
 #pragma once
@@ -23,6 +30,18 @@
 namespace leo::rtl {
 
 class Module;
+
+/// Installed by the event-driven Simulator on every net of its design so
+/// value changes become scheduling events. Internal wiring between the
+/// net layer and the simulation kernel — user modules never implement it.
+class NetEventListener {
+ public:
+  /// `net_index` is the index the listener assigned at attach time.
+  virtual void on_net_event(std::uint32_t net_index) noexcept = 0;
+
+ protected:
+  ~NetEventListener() = default;
+};
 
 /// Non-template base so the simulator and the VCD writer can track nets
 /// without knowing their value type.
@@ -47,15 +66,22 @@ class NetBase {
   void clear_dirty() noexcept { dirty_ = false; }
 
  protected:
-  void mark_dirty() noexcept { dirty_ = true; }
+  void mark_dirty() noexcept {
+    dirty_ = true;
+    if (listener_ != nullptr) listener_->on_net_event(listener_index_);
+  }
   [[nodiscard]] std::uint64_t mask() const noexcept { return mask_; }
 
  private:
+  friend class Simulator;  // attaches/detaches the event listener
+
   Module* owner_;
   std::string name_;
   unsigned width_;
   std::uint64_t mask_;
   bool dirty_ = false;
+  NetEventListener* listener_ = nullptr;
+  std::uint32_t listener_index_ = 0;
 };
 
 /// A combinational net. Values are masked to the declared width on write.

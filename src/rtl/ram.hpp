@@ -29,6 +29,12 @@ class SyncRam final : public Module {
   void clock_edge() override;
   void reset() override;
 
+  /// Pure sequential: the ports are sampled in clock_edge(), no
+  /// combinational path exists through the RAM.
+  [[nodiscard]] Sensitivity inputs() const override {
+    return Sensitivity::none();
+  }
+
   /// Debug/testbench backdoor (does not consume simulated cycles; the real
   /// hardware equivalent is the configuration readback path).
   [[nodiscard]] std::uint64_t peek(std::size_t index) const;

@@ -1,7 +1,9 @@
 #include "rtl/simulator.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "obs/metrics.hpp"
 #include "rtl/vcd.hpp"
@@ -25,10 +27,25 @@ void record_burst(std::uint64_t cycles, double wall_seconds) {
 
 }  // namespace
 
-Simulator::Simulator(Module& top) : top_(&top) {
+Simulator::Simulator(Module& top, SimMode mode) : top_(&top), mode_(mode) {
   collect(top);
-  reset();
+  if (mode_ == SimMode::kEvent) {
+    build_event_graph();
+    // The initial settle can legitimately throw (combinational loop in the
+    // design under test); release the nets' listener hooks first so they
+    // do not dangle into this dead simulator.
+    try {
+      reset();
+    } catch (...) {
+      detach_listeners();
+      throw;
+    }
+  } else {
+    reset();
+  }
 }
+
+Simulator::~Simulator() { detach_listeners(); }
 
 void Simulator::collect(Module& m) {
   modules_.push_back(&m);
@@ -37,14 +54,142 @@ void Simulator::collect(Module& m) {
   for (auto* child : m.children()) collect(*child);
 }
 
+void Simulator::build_event_graph() {
+  std::unordered_map<const NetBase*, std::uint32_t> net_index;
+  net_index.reserve(nets_.size());
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    net_index.emplace(nets_[i], static_cast<std::uint32_t>(i));
+  }
+
+  // Gather per-net declared dependents and the fallback set (modules with
+  // no sensitivity list, scheduled on every event).
+  std::vector<std::vector<std::uint32_t>> dependents(nets_.size());
+  std::vector<std::uint32_t> fallback;
+  for (std::size_t m = 0; m < modules_.size(); ++m) {
+    const Sensitivity sens = modules_[m]->inputs();
+    if (!sens.declared) {
+      fallback.push_back(static_cast<std::uint32_t>(m));
+      continue;
+    }
+    for (const NetBase* n : sens.nets) {
+      const auto it = net_index.find(n);
+      if (it == net_index.end()) {
+        throw std::logic_error(
+            "Simulator: module '" + modules_[m]->full_name() +
+            "' declares sensitivity to net '" + n->full_name() +
+            "' which is not part of this design");
+      }
+      dependents[it->second].push_back(static_cast<std::uint32_t>(m));
+    }
+  }
+  fallback_count_ = fallback.size();
+
+  // CSR layout; fallback modules ride along on every net's row.
+  fanout_offsets_.assign(nets_.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    fanout_offsets_[i] = static_cast<std::uint32_t>(total);
+    total += dependents[i].size() + fallback.size();
+  }
+  fanout_offsets_[nets_.size()] = static_cast<std::uint32_t>(total);
+  fanout_.clear();
+  fanout_.reserve(total);
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    fanout_.insert(fanout_.end(), dependents[i].begin(), dependents[i].end());
+    fanout_.insert(fanout_.end(), fallback.begin(), fallback.end());
+  }
+
+  queued_.assign(modules_.size(), 0);
+  worklist_.reserve(modules_.size());
+  round_.reserve(modules_.size());
+  touched_.assign(nets_.size(), 0);
+  touched_nets_.reserve(nets_.size());
+
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (nets_[i]->listener_ != nullptr) {
+      throw std::logic_error(
+          "Simulator: net '" + nets_[i]->full_name() +
+          "' is already bound to another event-driven simulator");
+    }
+  }
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    nets_[i]->listener_ = this;
+    nets_[i]->listener_index_ = static_cast<std::uint32_t>(i);
+  }
+}
+
+void Simulator::detach_listeners() noexcept {
+  for (auto* net : nets_) {
+    if (net->listener_ == this) {
+      net->listener_ = nullptr;
+      net->listener_index_ = 0;
+    }
+  }
+}
+
+void Simulator::on_net_event(std::uint32_t net_index) noexcept {
+  // Record only — dispatch waits for the round boundary, where the net's
+  // value is compared against the last confirmed snapshot. An evaluate()
+  // that writes a default and then overrides it back (legal, see the
+  // dense kernel's convergence rule) thus produces no scheduling work.
+  if (touched_[net_index] == 0) {
+    touched_[net_index] = 1;
+    touched_nets_.push_back(net_index);  // pre-reserved; never reallocates
+  }
+}
+
+void Simulator::dispatch_touched() {
+  for (const std::uint32_t i : touched_nets_) {
+    touched_[i] = 0;
+    const std::uint64_t v = nets_[i]->value_u64();
+    if (v == snapshot_[i]) continue;  // toggled back: not a change
+    snapshot_[i] = v;
+    const std::uint32_t begin = fanout_offsets_[i];
+    const std::uint32_t end = fanout_offsets_[i + 1];
+    for (std::uint32_t k = begin; k < end; ++k) {
+      const std::uint32_t m = fanout_[k];
+      if (queued_[m] == 0) {
+        queued_[m] = 1;
+        worklist_.push_back(m);
+      }
+    }
+  }
+  touched_nets_.clear();
+}
+
 void Simulator::reset() {
   for (auto* reg : regs_) reg->reset();
   for (auto* m : modules_) m->reset();
   cycles_ = 0;
-  settle();
+  if (mode_ == SimMode::kEvent) {
+    // Discard events the resets fired, take a fresh confirmed snapshot,
+    // and settle from a full module seed.
+    touched_nets_.clear();
+    std::fill(touched_.begin(), touched_.end(), std::uint8_t{0});
+    if (snapshot_.size() != nets_.size()) snapshot_.resize(nets_.size());
+    for (std::size_t i = 0; i < nets_.size(); ++i) {
+      snapshot_[i] = nets_[i]->value_u64();
+    }
+    worklist_.clear();
+    std::fill(queued_.begin(), queued_.end(), std::uint8_t{1});
+    for (std::uint32_t m = 0; m < modules_.size(); ++m) {
+      worklist_.push_back(m);
+    }
+    settle_event();
+  } else {
+    settle_dense();
+  }
 }
 
 void Simulator::settle() {
+  if (mode_ == SimMode::kEvent) {
+    settle_event();
+  } else {
+    settle_dense();
+  }
+}
+
+void Simulator::settle_dense() {
   // Convergence is judged on end-of-pass values: a module's evaluate()
   // may legitimately write a default and then override it within one
   // pass, so intra-pass toggles (the nets' dirty flags) are not loop
@@ -53,23 +198,61 @@ void Simulator::settle() {
   for (std::size_t i = 0; i < nets_.size(); ++i) {
     snapshot_[i] = nets_[i]->value_u64();
   }
-  std::string oscillating;
   for (unsigned pass = 0; pass < kMaxSettlePasses; ++pass) {
     for (auto* m : modules_) m->evaluate();
+    evaluations_ += modules_.size();
     bool changed = false;
-    oscillating.clear();
     for (std::size_t i = 0; i < nets_.size(); ++i) {
       const std::uint64_t v = nets_[i]->value_u64();
       if (v != snapshot_[i]) {
         changed = true;
         snapshot_[i] = v;
-        if (oscillating.size() < 512) {
-          oscillating += ' ';
-          oscillating += nets_[i]->full_name();
-        }
       }
     }
     if (!changed) return;
+  }
+  report_oscillation();
+}
+
+void Simulator::settle_event() {
+  // Confirm changes accumulated since the last settle (register commits,
+  // external pokes), then drain the worklist in rounds: everything queued
+  // at round start is evaluated once, and nets its writes touched are
+  // confirmed against the snapshot to queue the next round. A round
+  // corresponds to one dense pass (one rank of the zero-delay dependency
+  // chain), so the same pass budget bounds it.
+  dispatch_touched();
+  unsigned rounds = 0;
+  while (!worklist_.empty()) {
+    if (++rounds > kMaxSettlePasses) report_oscillation();
+    round_.swap(worklist_);
+    for (const std::uint32_t m : round_) {
+      // Clear before evaluating: a change this round in a net feeding an
+      // already-evaluated module must re-queue it for the next round.
+      queued_[m] = 0;
+      modules_[m]->evaluate();
+    }
+    evaluations_ += round_.size();
+    round_.clear();
+    dispatch_touched();
+  }
+}
+
+void Simulator::report_oscillation() {
+  // Failure path only — the diagnostic pass and the string it builds cost
+  // nothing when designs converge (which is every pass of every cycle of
+  // a healthy run).
+  if (snapshot_.size() != nets_.size()) snapshot_.resize(nets_.size());
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    snapshot_[i] = nets_[i]->value_u64();
+  }
+  for (auto* m : modules_) m->evaluate();
+  std::string oscillating;
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (nets_[i]->value_u64() != snapshot_[i] && oscillating.size() < 512) {
+      oscillating += ' ';
+      oscillating += nets_[i]->full_name();
+    }
   }
   throw std::runtime_error(
       "Simulator: combinational logic did not settle in " +
@@ -78,7 +261,9 @@ void Simulator::settle() {
 }
 
 void Simulator::step() {
-  // Wires already settled (end of previous step / reset).
+  // Wires already settled (end of previous step / reset). In event mode
+  // the register commits (and any external wire pokes since the last
+  // step) have already queued their dependents.
   for (auto* m : modules_) m->clock_edge();
   for (auto* reg : regs_) reg->commit();
   ++cycles_;

@@ -3,12 +3,38 @@
 // Cycle semantics (matching a synchronous FPGA design at the paper's
 // 1 MHz clock):
 //
-//   1. settle: evaluate() every module repeatedly until no wire changes
-//      (fixpoint). Combinational loops are detected and reported.
+//   1. settle: evaluate combinational logic to a fixpoint (no wire
+//      changes). Combinational loops are detected and reported.
 //   2. edge:   clock_edge() every module once — registers sample inputs.
 //   3. commit: all registers take their next values simultaneously;
 //              synchronous RAMs apply their sampled port operations.
 //   4. trace:  the attached VCD sink (if any) records changed nets.
+//
+// Two settle kernels implement step 1 (SimMode, chosen at construction):
+//
+//   kEvent (default) — event-driven. At elaboration the simulator builds
+//     a static fanout graph net -> dependent modules from each module's
+//     declared sensitivity list (Module::inputs()) and installs itself as
+//     the NetEventListener on every net. A net change — register commit,
+//     wire write inside evaluate(), or an external testbench poke —
+//     records the touched net; at each round boundary, nets whose settled
+//     value actually differs from the last confirmed one dispatch their
+//     fanout onto a deduplicated module worklist, and settle() drains the
+//     worklist in rounds until no confirmed change remains.
+//     Per-cycle work is proportional to the logic that actually switched,
+//     not to the design size. Modules without a declared sensitivity list
+//     are conservatively scheduled on every event (correct, never fast).
+//
+//   kDense — the reference sweep: evaluate *all* modules and rescan *all*
+//     nets each pass until a pass changes nothing. Kept as the oracle the
+//     event kernel is proven bit-identical against (see
+//     tests/test_sim_equivalence.cpp) and as a fallback for designs with
+//     undeclared sensitivities where the worklist adds no value.
+//
+// Both kernels reach the same fixpoint (evaluate() is an idempotent pure
+// function of the declared inputs and every module fully drives its
+// outputs each call), so settled net values, VCD dumps, evolved genomes
+// and generation counts are identical — only the work per cycle differs.
 //
 // One step() is one clock cycle; `cycles()` therefore converts directly
 // to wall-clock time at the modelled frequency (time = cycles / f_clk),
@@ -27,11 +53,25 @@ namespace leo::rtl {
 
 class VcdWriter;
 
-class Simulator {
+/// Settle-kernel selection (see file header). Bit-identical results; the
+/// event kernel is faster on designs with declared sensitivities.
+enum class SimMode : std::uint8_t {
+  kEvent,  ///< fanout-graph worklist (default)
+  kDense,  ///< evaluate-everything reference sweep
+};
+
+class Simulator final : private NetEventListener {
  public:
   /// Binds to a fully-constructed design. The module tree must not change
   /// afterwards (hardware does not grow new blocks at runtime either).
-  explicit Simulator(Module& top);
+  /// In kEvent mode the simulator owns the design's event hooks until it
+  /// is destroyed; binding a second simulator to the same tree throws
+  /// std::logic_error.
+  explicit Simulator(Module& top, SimMode mode = SimMode::kEvent);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   /// Resets all registers and module state and re-settles combinational
   /// logic. Cycle counter returns to zero.
@@ -48,6 +88,7 @@ class Simulator {
   bool run_until(const std::function<bool()>& done, std::uint64_t max_cycles);
 
   [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+  [[nodiscard]] SimMode mode() const noexcept { return mode_; }
 
   /// Seconds of simulated time at the given clock frequency.
   [[nodiscard]] double seconds_at(double hz) const {
@@ -62,18 +103,59 @@ class Simulator {
     return modules_;
   }
 
-  /// Maximum settle passes before declaring a combinational loop.
+  /// Modules running on the conservative sensitive-to-everything fallback
+  /// (no declared sensitivity list). Zero on fully ported designs; the
+  /// porting tests pin this for the shipped module trees.
+  [[nodiscard]] std::size_t fallback_modules() const noexcept {
+    return fallback_count_;
+  }
+
+  /// Cumulative evaluate() calls across all settles — the work metric the
+  /// event kernel minimizes (dense mode counts every sweep call too).
+  [[nodiscard]] std::uint64_t evaluations() const noexcept {
+    return evaluations_;
+  }
+
+  /// Maximum settle passes (dense) / worklist rounds (event) before
+  /// declaring a combinational loop.
   static constexpr unsigned kMaxSettlePasses = 64;
 
  private:
-  void settle();
   void collect(Module& m);
+  void build_event_graph();
+  void detach_listeners() noexcept;
+  void settle();
+  void settle_dense();
+  void settle_event();
+  void dispatch_touched();
+  [[noreturn]] void report_oscillation();
+  void on_net_event(std::uint32_t net_index) noexcept override;
 
   Module* top_;
+  SimMode mode_;
   std::vector<Module*> modules_;   // pre-order
   std::vector<NetBase*> nets_;
   std::vector<RegBase*> regs_;
   std::vector<std::uint64_t> snapshot_;  // per-net settle comparison values
+  // Event kernel state. fanout_ is a CSR adjacency list: the dependent
+  // modules of net i are fanout_[fanout_offsets_[i] ..
+  // fanout_offsets_[i+1]); undeclared (fallback) modules are appended to
+  // every row. Raw write events only *record* the touched net
+  // (touched_[i] dedupes); fanout dispatches at round boundaries, and
+  // only for nets whose value differs from snapshot_ — matching the
+  // dense sweep's rule that intra-pass toggles (write-default-then-
+  // override) are not changes. queued_[m] dedupes the module worklist,
+  // so neither list exceeds its design-size bound — all four vectors are
+  // pre-reserved and event dispatch never allocates.
+  std::vector<std::uint32_t> fanout_offsets_;
+  std::vector<std::uint32_t> fanout_;
+  std::vector<std::uint8_t> touched_;
+  std::vector<std::uint32_t> touched_nets_;
+  std::vector<std::uint8_t> queued_;
+  std::vector<std::uint32_t> worklist_;
+  std::vector<std::uint32_t> round_;  // scratch: the round being drained
+  std::size_t fallback_count_ = 0;
+  std::uint64_t evaluations_ = 0;
   VcdWriter* vcd_ = nullptr;
   std::uint64_t cycles_ = 0;
 };

@@ -55,6 +55,10 @@ std::vector<std::uint8_t> encode_config(const core::EvolutionConfig& config) {
   w.u64(config.seed);
   w.u64(config.max_generations);
   w.u8(bool_byte(config.track_history));
+  // config.sim_mode is deliberately NOT encoded: the settle kernel does
+  // not affect results (bit-identical genomes, generations and cycle
+  // counts — asserted by the mode-equivalence tests), so jobs differing
+  // only in sim_mode correctly share one cache entry.
 
   const fitness::FitnessSpec& spec = config.spec;
   w.u32(spec.w_equilibrium);

@@ -35,6 +35,11 @@ class PwmGenerator final : public rtl::Module {
   void evaluate() override;
   void clock_edge() override;
 
+  /// `position` is sampled only at frame boundaries in clock_edge().
+  [[nodiscard]] rtl::Sensitivity inputs() const override {
+    return {&counter_, &latched_pulse_};
+  }
+
   [[nodiscard]] const PwmParams& params() const noexcept { return params_; }
 
   /// Pulse width (cycles) commanded by a position value.

@@ -91,6 +91,30 @@ TEST(Rules, PackedAndDecodedAgree) {
   }
 }
 
+/// The LUT fast path vs the rule-by-rule reference loop. Exhaustive over
+/// each step's full 2^18 space (as step 0 and as step 1 — the other step
+/// zero), which covers every table entry in every position; random full
+/// genomes then exercise the cross-step combination and R2.
+TEST(Rules, LutFastPathMatchesReferenceExhaustivelyPerStep) {
+  for (std::uint32_t s = 0; s < (1u << 18); ++s) {
+    const std::uint64_t as_step0 = s;
+    ASSERT_EQ(count_violations(as_step0), count_violations_reference(as_step0))
+        << "step-0 word " << s;
+    const std::uint64_t as_step1 = static_cast<std::uint64_t>(s) << 18;
+    ASSERT_EQ(count_violations(as_step1), count_violations_reference(as_step1))
+        << "step-1 word " << s;
+  }
+}
+
+TEST(Rules, LutFastPathMatchesReferenceOnRandomFullGenomes) {
+  util::Xoshiro256 rng(36);
+  for (int i = 0; i < 100'000; ++i) {
+    const std::uint64_t bits = rng.next_u64() & genome::kGenomeMask;
+    ASSERT_EQ(count_violations(bits), count_violations_reference(bits))
+        << "genome " << bits;
+  }
+}
+
 TEST(Rules, ViolationBoundsHold) {
   util::Xoshiro256 rng(22);
   for (int i = 0; i < 5000; ++i) {

@@ -196,6 +196,151 @@ TEST(RtlKernel, ResourceTallyCountsRegisterBits) {
   EXPECT_EQ(t.lut4, 0u);
 }
 
+// ---- event-driven settle kernel ----
+
+TEST(RtlKernel, EventAndDenseModesAgreeOnCombChain) {
+  CombChain ev_top(nullptr);
+  CombChain de_top(nullptr);
+  Simulator ev(ev_top, SimMode::kEvent);
+  Simulator de(de_top, SimMode::kDense);
+  for (int cycle = 0; cycle < 300; ++cycle) {
+    EXPECT_EQ(ev_top.count.read(), de_top.count.read()) << "cycle " << cycle;
+    EXPECT_EQ(ev_top.twice.read(), de_top.twice.read()) << "cycle " << cycle;
+    EXPECT_EQ(ev_top.plus1.read(), de_top.plus1.read()) << "cycle " << cycle;
+    ev.step();
+    de.step();
+  }
+}
+
+TEST(RtlKernel, DenseModeDetectsCombinationalLoopToo) {
+  Oscillator top(nullptr);
+  try {
+    Simulator sim(top, SimMode::kDense);
+    FAIL() << "loop not detected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("osc.x"), std::string::npos);
+  }
+}
+
+TEST(RtlKernel, SecondEventSimulatorOnSameDesignThrows) {
+  CombChain top(nullptr);
+  Simulator first(top, SimMode::kEvent);
+  EXPECT_THROW(Simulator(top, SimMode::kEvent), std::logic_error);
+  // A dense simulator takes no ownership of the nets' event hooks...
+  Simulator dense(top, SimMode::kDense);
+  // ...and once the owner is gone the hooks are released for rebinding.
+}
+
+TEST(RtlKernel, EventHooksReleasedOnDestruction) {
+  CombChain top(nullptr);
+  { Simulator sim(top, SimMode::kEvent); }
+  Simulator again(top, SimMode::kEvent);  // must not throw
+  again.step();
+  EXPECT_EQ(top.count.read(), 1);
+}
+
+TEST(RtlKernel, MisdeclaredSensitivityNetIsRejected) {
+  // A module declaring sensitivity to a net outside the simulated tree is
+  // a wiring bug and must fail loudly at elaboration.
+  class Foreign final : public Module {
+   public:
+    explicit Foreign(Module* parent, const NetBase* alien)
+        : Module(parent, "foreign"), alien_(alien) {}
+    [[nodiscard]] Sensitivity inputs() const override { return {alien_}; }
+   private:
+    const NetBase* alien_;
+  };
+  CombChain other(nullptr);  // its nets are not part of `top`'s tree
+  class Top final : public Module {
+   public:
+    Top(const NetBase* alien) : Module(nullptr, "top"), kid(this, alien) {}
+    Foreign kid;
+  };
+  Top top(&other.twice);
+  EXPECT_THROW(Simulator(top, SimMode::kEvent), std::logic_error);
+  EXPECT_NO_THROW(Simulator(top, SimMode::kDense));
+}
+
+TEST(RtlKernel, FallbackModuleCountReported) {
+  CombChain undeclared(nullptr);  // CombChain declares no sensitivity
+  Simulator sim(undeclared, SimMode::kEvent);
+  EXPECT_EQ(sim.fallback_modules(), 1u);
+}
+
+TEST(RtlKernel, EventModeDoesLessWorkOnDeclaredDesigns) {
+  // A declared module is evaluated only when a declared input changed; a
+  // design whose state stops changing stops being evaluated entirely.
+  class Declared final : public Module {
+   public:
+    explicit Declared(Module* parent)
+        : Module(parent, "decl"), stuck(this, "stuck", 8), out(this, "o", 8) {}
+    Reg<std::uint8_t> stuck;  // never set_next -> never changes
+    Wire<std::uint8_t> out;
+    void evaluate() override {
+      out.write(static_cast<std::uint8_t>(stuck.read() + 1));
+    }
+    [[nodiscard]] Sensitivity inputs() const override { return {&stuck}; }
+  };
+  Declared top(nullptr);
+  Simulator sim(top, SimMode::kEvent);
+  const std::uint64_t after_reset = sim.evaluations();
+  sim.run(100);
+  EXPECT_EQ(sim.evaluations(), after_reset);  // no input ever changed
+  EXPECT_EQ(top.out.read(), 1);
+
+  Declared dense_top(nullptr);
+  Simulator dense(dense_top, SimMode::kDense);
+  const std::uint64_t dense_reset = dense.evaluations();
+  dense.run(100);
+  EXPECT_GT(dense.evaluations(), dense_reset);  // sweeps regardless
+}
+
+TEST(RtlKernel, ExternalWirePokeRetriggersDeclaredModule) {
+  // Testbenches drive input wires between steps; the event kernel must
+  // pick the change up at the next settle exactly like the dense sweep.
+  class Follower final : public Module {
+   public:
+    explicit Follower(Module* parent)
+        : Module(parent, "f"), in(this, "in", 8), out(this, "out", 8) {}
+    Wire<std::uint8_t> in;
+    Wire<std::uint8_t> out;
+    void evaluate() override { out.write(in.read()); }
+    [[nodiscard]] Sensitivity inputs() const override { return {&in}; }
+  };
+  Follower top(nullptr);
+  Simulator sim(top, SimMode::kEvent);
+  top.in.write(42);
+  sim.step();
+  EXPECT_EQ(top.out.read(), 42);
+  top.in.write(7);
+  sim.step();
+  EXPECT_EQ(top.out.read(), 7);
+}
+
+TEST(RtlKernel, SensitivityNoneModuleOnlyEvaluatesAtReset) {
+  class Constant final : public Module {
+   public:
+    explicit Constant(Module* parent)
+        : Module(parent, "c"), out(this, "out", 8) {}
+    Wire<std::uint8_t> out;
+    int calls = 0;
+    void evaluate() override {
+      ++calls;
+      out.write(99);
+    }
+    [[nodiscard]] Sensitivity inputs() const override {
+      return Sensitivity::none();
+    }
+  };
+  Constant top(nullptr);
+  Simulator sim(top, SimMode::kEvent);
+  const int calls_at_reset = top.calls;
+  EXPECT_GE(calls_at_reset, 1);
+  sim.run(50);
+  EXPECT_EQ(top.calls, calls_at_reset);
+  EXPECT_EQ(top.out.read(), 99);
+}
+
 // ---- SyncRam ----
 
 class RamHarness final : public Module {

@@ -248,6 +248,33 @@ TEST(Service, HardwareJobMatchesDirectEvolve) {
   EXPECT_EQ(served.clock_cycles, direct.clock_cycles);
 }
 
+TEST(Service, HardwareJobIdenticalUnderBothSimModes) {
+  // Two separate services (each with its own cache — sim_mode is
+  // deliberately absent from the config hash, so one service would serve
+  // the second job from the first's cache entry and prove nothing).
+  core::EvolutionConfig config = base_config(7);
+  config.backend = core::Backend::kHardware;
+  config.sim_mode = rtl::SimMode::kEvent;
+  core::EvolutionConfig dense_config = config;
+  dense_config.sim_mode = rtl::SimMode::kDense;
+
+  EvolutionService event_service(1);
+  EvolutionService dense_service(1);
+  const core::EvolutionResult ev = event_service.submit(config).wait();
+  const core::EvolutionResult de = dense_service.submit(dense_config).wait();
+
+  EXPECT_EQ(ev.best_genome, de.best_genome);
+  EXPECT_EQ(ev.best_fitness, de.best_fitness);
+  EXPECT_EQ(ev.generations, de.generations);
+  EXPECT_EQ(ev.clock_cycles, de.clock_cycles);
+  EXPECT_EQ(ev.evaluations, de.evaluations);
+  // And because results are identical, the two modes sharing one cache
+  // entry is correct: same service, different mode -> cache hit.
+  JobHandle cached = event_service.submit(dense_config);
+  EXPECT_EQ(cached.wait().best_genome, ev.best_genome);
+  EXPECT_TRUE(cached.from_cache());
+}
+
 /// Acceptance criterion: identical (config, seed) → cached result, no
 /// engine re-run.
 TEST(Service, ResubmittingIdenticalJobHitsTheCache) {

@@ -1,0 +1,173 @@
+// Mode-equivalence proof for the two settle kernels (SimMode::kEvent vs
+// SimMode::kDense): the event-driven worklist must be bit-identical to
+// the dense evaluate-everything sweep — same net values every cycle, same
+// VCD bytes, same evolved genomes and generation counts — across seeds.
+// Any sensitivity list missing a net evaluate() actually reads shows up
+// here as a lockstep divergence naming the first differing net.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/discipulus.hpp"
+#include "core/evolution_engine.hpp"
+#include "fpga/bitstream.hpp"
+#include "fpga/config_loader.hpp"
+#include "gap/gap_top.hpp"
+#include "rtl/simulator.hpp"
+#include "rtl/vcd.hpp"
+
+namespace leo {
+namespace {
+
+/// Steps both simulators in lockstep for `cycles`, asserting every net of
+/// both trees identical after every cycle. Returns false (with a failure
+/// already recorded) on first divergence so callers can stop early.
+bool lockstep_compare(rtl::Simulator& event_sim, rtl::Simulator& dense_sim,
+                      std::uint64_t cycles) {
+  const auto& ev_mods = event_sim.modules();
+  const auto& de_mods = dense_sim.modules();
+  EXPECT_EQ(ev_mods.size(), de_mods.size());
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    event_sim.step();
+    dense_sim.step();
+    for (std::size_t m = 0; m < ev_mods.size(); ++m) {
+      const auto& ev_nets = ev_mods[m]->nets();
+      const auto& de_nets = de_mods[m]->nets();
+      for (std::size_t n = 0; n < ev_nets.size(); ++n) {
+        if (ev_nets[n]->value_u64() != de_nets[n]->value_u64()) {
+          ADD_FAILURE() << "cycle " << c + 1 << ": net "
+                        << ev_nets[n]->full_name() << " event="
+                        << ev_nets[n]->value_u64()
+                        << " dense=" << de_nets[n]->value_u64();
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+TEST(SimEquivalence, GapTopLockstepAcrossSeeds) {
+  for (const std::uint64_t seed : {1u, 7u, 1999u}) {
+    gap::GapParams params;
+    gap::GapTop ev_top(nullptr, "gap", params, seed);
+    gap::GapTop de_top(nullptr, "gap", params, seed);
+    rtl::Simulator ev(ev_top, rtl::SimMode::kEvent);
+    rtl::Simulator de(de_top, rtl::SimMode::kDense);
+    EXPECT_EQ(ev.fallback_modules(), 0u)
+        << "a GAP module lost its sensitivity declaration";
+    if (!lockstep_compare(ev, de, 20'000)) {
+      FAIL() << "divergence at seed " << seed;
+    }
+  }
+}
+
+TEST(SimEquivalence, GapFullRunSameGenomeAndGenerations) {
+  for (const std::uint64_t seed : {3u, 11u}) {
+    gap::GapParams params;
+    gap::GapTop ev_top(nullptr, "gap", params, seed);
+    gap::GapTop de_top(nullptr, "gap", params, seed);
+    rtl::Simulator ev(ev_top, rtl::SimMode::kEvent);
+    rtl::Simulator de(de_top, rtl::SimMode::kDense);
+    const bool ev_done =
+        ev.run_until([&] { return ev_top.done.read(); }, 20'000'000);
+    const bool de_done =
+        de.run_until([&] { return de_top.done.read(); }, 20'000'000);
+    ASSERT_TRUE(ev_done);
+    ASSERT_TRUE(de_done);
+    EXPECT_EQ(ev.cycles(), de.cycles()) << "seed " << seed;
+    EXPECT_EQ(ev_top.generation(), de_top.generation()) << "seed " << seed;
+    EXPECT_EQ(ev_top.best_genome(), de_top.best_genome()) << "seed " << seed;
+    EXPECT_EQ(ev_top.best_fitness(), de_top.best_fitness()) << "seed " << seed;
+    // The event kernel must be doing strictly less evaluate() work.
+    EXPECT_LT(ev.evaluations(), de.evaluations());
+  }
+}
+
+TEST(SimEquivalence, DiscipulusTopLockstepWithExternalStimulus) {
+  core::DiscipulusParams params;
+  params.controller.cycles_per_phase = 50;  // fast phases: more activity
+  core::DiscipulusTop ev_top(nullptr, "dx", params, 5);
+  core::DiscipulusTop de_top(nullptr, "dx", params, 5);
+  rtl::Simulator ev(ev_top, rtl::SimMode::kEvent);
+  rtl::Simulator de(de_top, rtl::SimMode::kDense);
+  EXPECT_EQ(ev.fallback_modules(), 0u)
+      << "a Discipulus module lost its sensitivity declaration";
+  // External pokes between steps (genome override, sensors) must reach
+  // the event kernel exactly like the dense sweep.
+  const std::uint64_t tripod = 0x92C49A6D3ULL & ((1ULL << 36) - 1);
+  for (auto* top : {&ev_top, &de_top}) {
+    top->use_external_genome.write(true);
+    top->external_genome.write(tripod);
+    top->ground_sensors.write(0x2A);
+  }
+  ASSERT_TRUE(lockstep_compare(ev, de, 2'000));
+  for (auto* top : {&ev_top, &de_top}) {
+    top->ground_sensors.write(0x15);
+    top->obstacle_sensors.write(0x3F);
+  }
+  ASSERT_TRUE(lockstep_compare(ev, de, 2'000));
+}
+
+TEST(SimEquivalence, ConfigLoaderLockstep) {
+  const util::BitVec frame = fpga::pack_genome(0xABCDEF123ULL);
+  fpga::ConfigLoader ev_top(nullptr, "loader", frame);
+  fpga::ConfigLoader de_top(nullptr, "loader", frame);
+  rtl::Simulator ev(ev_top, rtl::SimMode::kEvent);
+  rtl::Simulator de(de_top, rtl::SimMode::kDense);
+  EXPECT_EQ(ev.fallback_modules(), 0u);
+  ASSERT_TRUE(lockstep_compare(ev, de, frame.width() + 8));
+  EXPECT_TRUE(ev_top.valid.read());
+}
+
+TEST(SimEquivalence, VcdDumpsAreByteIdentical) {
+  const std::string dir = ::testing::TempDir();
+  std::vector<std::string> paths;
+  for (const auto mode : {rtl::SimMode::kEvent, rtl::SimMode::kDense}) {
+    gap::GapParams params;
+    gap::GapTop top(nullptr, "gap", params, 42);
+    rtl::Simulator sim(top, mode);
+    const std::string path =
+        dir + "/leo_equiv_" +
+        (mode == rtl::SimMode::kEvent ? "event" : "dense") + ".vcd";
+    paths.push_back(path);
+    {
+      rtl::VcdWriter vcd(path, top);
+      sim.attach_vcd(&vcd);
+      sim.run(5'000);
+    }
+  }
+  std::ifstream a(paths[0], std::ios::binary);
+  std::ifstream b(paths[1], std::ios::binary);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_FALSE(sa.str().empty());
+  EXPECT_EQ(sa.str(), sb.str());
+  for (const auto& p : paths) std::remove(p.c_str());
+}
+
+TEST(SimEquivalence, EvolveHardwareIdenticalResultsUnderBothModes) {
+  core::EvolutionConfig config;
+  config.backend = core::Backend::kHardware;
+  config.seed = 9;
+  core::EvolutionConfig dense_config = config;
+  dense_config.sim_mode = rtl::SimMode::kDense;
+
+  const core::EvolutionResult ev = core::evolve(config);
+  const core::EvolutionResult de = core::evolve(dense_config);
+  EXPECT_TRUE(ev.reached_target);
+  EXPECT_TRUE(de.reached_target);
+  EXPECT_EQ(ev.generations, de.generations);
+  EXPECT_EQ(ev.best_genome, de.best_genome);
+  EXPECT_EQ(ev.best_fitness, de.best_fitness);
+  EXPECT_EQ(ev.clock_cycles, de.clock_cycles);
+  EXPECT_EQ(ev.evaluations, de.evaluations);
+}
+
+}  // namespace
+}  // namespace leo
