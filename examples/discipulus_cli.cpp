@@ -114,7 +114,9 @@ void print_job_line(std::uint64_t local_id, const serve::JobHandle& job) {
               serve::key_to_string(job.cache_key()).c_str(),
               static_cast<unsigned long long>(p.generation), p.best_fitness);
   if (job.from_cache()) std::printf("  (cached)");
-  if (job.state() == serve::JobState::kFailed) {
+  if (job.coalesced()) std::printf("  (coalesced)");
+  if (job.state() == serve::JobState::kFailed ||
+      job.state() == serve::JobState::kRejected) {
     std::printf("  error: %s", job.error().c_str());
   }
   std::printf("\n");
@@ -122,9 +124,12 @@ void print_job_line(std::uint64_t local_id, const serve::JobHandle& job) {
 
 void print_cache_stats(const serve::EvolutionService& service) {
   const serve::CacheStats s = service.cache_stats();
-  std::printf("cache: %llu hits, %llu misses, %zu entries\n",
+  std::printf("cache: %llu hits, %llu misses, %zu entries (cap %zu, "
+              "%zu shards), %llu evictions\n",
               static_cast<unsigned long long>(s.hits),
-              static_cast<unsigned long long>(s.misses), s.entries);
+              static_cast<unsigned long long>(s.misses), s.entries,
+              s.capacity, s.shards,
+              static_cast<unsigned long long>(s.evictions));
 }
 
 /// Interactive job service: a tiny line-oriented REPL over an
@@ -145,6 +150,8 @@ int cmd_serve(std::size_t threads, const std::string& telemetry_path) {
   std::printf("evolution service ready (%zu threads); commands:\n"
               "  submit <seed> [gen-budget]   queue a software-GA job\n"
               "  submit-hw <seed>             queue a hardware (GAP) job\n"
+              "  batch <count> [seed0] [gen-budget]\n"
+              "                               queue a fleet of software jobs\n"
               "  status [id]                  job state and progress\n"
               "  cancel <id>                  cooperatively cancel a job\n"
               "  checkpoint <id> <file>       snapshot a job to disk\n"
@@ -173,6 +180,29 @@ int cmd_serve(std::size_t threads, const std::string& telemetry_path) {
                      service.submit(service_config(backend, seed), options));
         std::printf("queued job %llu\n",
                     static_cast<unsigned long long>(next_id++));
+      } else if (cmd == "batch") {
+        std::size_t count = 0;
+        std::uint64_t seed0 = 1;
+        serve::JobOptions options;
+        in >> count >> seed0 >> options.generation_budget;
+        if (count == 0) {
+          std::printf("usage: batch <count> [seed0] [gen-budget]\n");
+        } else {
+          std::vector<serve::BatchItem> items(count);
+          for (std::size_t i = 0; i < count; ++i) {
+            items[i].config =
+                service_config(core::Backend::kSoftware, seed0 + i);
+            items[i].options = options;
+          }
+          const serve::BatchHandle batch = service.submit_batch(items);
+          const std::uint64_t first = next_id;
+          for (const serve::JobHandle& job : batch.jobs()) {
+            jobs.emplace(next_id++, job);
+          }
+          std::printf("queued batch of %zu: jobs %llu..%llu\n", count,
+                      static_cast<unsigned long long>(first),
+                      static_cast<unsigned long long>(next_id - 1));
+        }
       } else if (cmd == "status") {
         std::uint64_t id = 0;
         if (in >> id) {
@@ -222,33 +252,38 @@ int cmd_serve(std::size_t threads, const std::string& telemetry_path) {
   return 0;
 }
 
-/// Batch mode: submit one software-GA job per seed, wait for all, report.
+/// Batch mode: one submit_batch() over all seeds, reported in completion
+/// order as wait_any() surfaces each terminal job.
 int cmd_submit_batch(const std::vector<std::uint64_t>& seeds) {
   serve::EvolutionService service;
-  std::vector<serve::JobHandle> handles;
-  handles.reserve(seeds.size());
-  for (const std::uint64_t seed : seeds) {
-    handles.push_back(
-        service.submit(service_config(core::Backend::kSoftware, seed)));
+  std::vector<serve::BatchItem> items(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    items[i].config = service_config(core::Backend::kSoftware, seeds[i]);
   }
-  int failures = 0;
-  for (std::size_t i = 0; i < handles.size(); ++i) {
+  serve::BatchHandle batch = service.submit_batch(items);
+
+  for (std::size_t idx = batch.wait_any(); idx != serve::BatchHandle::npos;
+       idx = batch.wait_any()) {
+    serve::JobHandle job = batch.jobs()[idx];
     try {
-      const core::EvolutionResult r = handles[i].wait();
-      std::printf("seed %-6llu %s in %llu generations  genome %09llx%s\n",
-                  static_cast<unsigned long long>(seeds[i]),
+      const core::EvolutionResult r = job.wait();
+      std::printf("seed %-6llu %s in %llu generations  genome %09llx%s%s\n",
+                  static_cast<unsigned long long>(seeds[idx]),
                   r.reached_target ? "converged" : "stopped",
                   static_cast<unsigned long long>(r.generations),
                   static_cast<unsigned long long>(r.best_genome),
-                  handles[i].from_cache() ? "  (cached)" : "");
+                  job.from_cache() ? "  (cached)" : "",
+                  job.coalesced() ? "  (coalesced)" : "");
     } catch (const std::exception& e) {
       std::printf("seed %-6llu failed: %s\n",
-                  static_cast<unsigned long long>(seeds[i]), e.what());
-      ++failures;
+                  static_cast<unsigned long long>(seeds[idx]), e.what());
     }
   }
+  const serve::BatchProgress p = batch.progress();
+  std::printf("batch: %zu jobs, %zu succeeded, %zu failed\n", p.total,
+              p.succeeded, p.failed);
   print_cache_stats(service);
-  return failures == 0 ? 0 : 1;
+  return p.failed == 0 && p.rejected == 0 ? 0 : 1;
 }
 
 int cmd_snapshot_status(const char* path) {

@@ -27,6 +27,10 @@ REQUIRED_GAUGES = {
         "leo_bench_rtl_event_cycles_per_sec",
         "leo_bench_rtl_dense_cycles_per_sec",
     ),
+    "serve": (
+        "leo_bench_serve_jobs_per_sec",
+        "leo_bench_serve_coalesced_hit_ratio",
+    ),
 }
 
 

@@ -119,7 +119,9 @@ Netlist build_fitness_netlist(const fitness::FitnessSpec& spec) {
   // Genome inputs, g[bit] in packed order (step*18 + leg*3 + field).
   std::array<NodeId, genome::kGenomeBits> g{};
   for (std::size_t i = 0; i < genome::kGenomeBits; ++i) {
-    g[i] = nl.add_input("g" + std::to_string(i));
+    // std::string{} first: GCC 12's -Wrestrict false-positives on the
+    // (const char*, std::string&&) operator+ overload at -O3.
+    g[i] = nl.add_input(std::string("g") + std::to_string(i));
   }
   const auto v_first = [&](unsigned step, unsigned leg) {
     return g[step * 18 + leg * 3 + 0];

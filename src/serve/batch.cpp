@@ -1,0 +1,66 @@
+#include "serve/batch.hpp"
+
+namespace leo::serve {
+
+BatchProgress BatchHandle::progress() const {
+  BatchProgress p;
+  p.total = jobs_.size();
+  for (const JobHandle& job : jobs_) {
+    const JobState state = job.state();
+    if (is_terminal(state)) ++p.terminal;
+    switch (state) {
+      case JobState::kSucceeded: ++p.succeeded; break;
+      case JobState::kSuspended: ++p.suspended; break;
+      case JobState::kBudgetExhausted: ++p.budget_exhausted; break;
+      case JobState::kCancelled: ++p.cancelled; break;
+      case JobState::kRejected: ++p.rejected; break;
+      case JobState::kFailed: ++p.failed; break;
+      case JobState::kQueued:
+      case JobState::kRunning: break;
+    }
+    if (job.from_cache()) ++p.from_cache;
+    if (job.coalesced()) ++p.coalesced;
+    p.generations += job.progress().generation;
+  }
+  return p;
+}
+
+void BatchHandle::wait_all() {
+  if (!state_) return;
+  std::unique_lock lock(state_->mutex);
+  state_->cv.wait(lock,
+                  [this] { return state_->terminal >= jobs_.size(); });
+}
+
+std::size_t BatchHandle::wait_any() {
+  if (!state_ || returned_count_ >= jobs_.size()) return npos;
+  {
+    // terminal > returned_count_ guarantees some unreturned job is
+    // terminal, so the scan below cannot come up empty even if the job
+    // turned terminal before we started waiting.
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock,
+                    [this] { return state_->terminal > returned_count_; });
+  }
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (returned_[i] || !is_terminal(jobs_[i].state())) continue;
+    returned_[i] = true;
+    ++returned_count_;
+    return i;
+  }
+  return npos;  // unreachable: the batch counter only grows
+}
+
+void BatchHandle::cancel() {
+  for (JobHandle& job : jobs_) job.cancel();
+}
+
+std::vector<core::EvolutionResult> BatchHandle::results() {
+  wait_all();
+  std::vector<core::EvolutionResult> out;
+  out.reserve(jobs_.size());
+  for (JobHandle& job : jobs_) out.push_back(job.wait());
+  return out;
+}
+
+}  // namespace leo::serve

@@ -1,0 +1,92 @@
+// batch.hpp — fleet submission: a whole sweep as one handle.
+//
+// The paper's headline numbers are fleet statistics ("an average of about
+// 2000 generations" over many runs), and every related workload —
+// behavioural repertoires, controller-parameter sweeps — submits thousands
+// of (config, seed) points at once. submit_batch() turns such a point set
+// into one BatchHandle with aggregate progress, wait_all()/wait_any(), and
+// batch-wide cancel, instead of N hand-rolled JobHandle loops.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/evolution_engine.hpp"
+#include "serve/job.hpp"
+
+namespace leo::serve {
+
+/// One point of a batch submission.
+struct BatchItem {
+  core::EvolutionConfig config;
+  JobOptions options{};
+};
+
+/// Aggregate point-in-time view of a batch (counts by state plus summed
+/// generation progress across all member jobs).
+struct BatchProgress {
+  std::size_t total = 0;
+  std::size_t terminal = 0;  ///< jobs in any terminal state
+  std::size_t succeeded = 0;
+  std::size_t suspended = 0;
+  std::size_t budget_exhausted = 0;
+  std::size_t cancelled = 0;
+  std::size_t rejected = 0;
+  std::size_t failed = 0;
+  std::size_t from_cache = 0;
+  std::size_t coalesced = 0;
+  std::uint64_t generations = 0;  ///< sum of per-job progress
+};
+
+/// Handle over the jobs of one submit_batch() call, in submission order.
+/// Copyable like JobHandle; wait_any() consumption state is per copy.
+class BatchHandle {
+ public:
+  static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+  BatchHandle() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  [[nodiscard]] std::size_t size() const noexcept { return jobs_.size(); }
+  [[nodiscard]] const std::vector<JobHandle>& jobs() const noexcept {
+    return jobs_;
+  }
+
+  [[nodiscard]] BatchProgress progress() const;
+
+  /// Blocks until every job in the batch is terminal. Never throws for
+  /// failed/rejected members — inspect progress() or the per-job handles.
+  void wait_all();
+
+  /// Blocks until some not-yet-returned job is terminal and returns its
+  /// index; npos once every job has been returned. Each job is returned
+  /// exactly once per handle copy.
+  [[nodiscard]] std::size_t wait_any();
+
+  /// Requests cancellation of every member job (queued/coalesced members
+  /// cancel immediately, running ones at the next generation boundary).
+  void cancel();
+
+  /// wait_all(), then the per-job results in submission order. Throws —
+  /// like JobHandle::wait() — if any member failed or was shed; callers
+  /// that need per-job error handling should iterate jobs() instead.
+  [[nodiscard]] std::vector<core::EvolutionResult> results();
+
+ private:
+  friend class EvolutionService;
+  BatchHandle(std::shared_ptr<detail::BatchState> state,
+              std::vector<JobHandle> jobs)
+      : state_(std::move(state)),
+        jobs_(std::move(jobs)),
+        returned_(jobs_.size(), false) {}
+
+  std::shared_ptr<detail::BatchState> state_;
+  std::vector<JobHandle> jobs_;
+  std::vector<bool> returned_;       ///< wait_any bookkeeping
+  std::size_t returned_count_ = 0;
+};
+
+}  // namespace leo::serve

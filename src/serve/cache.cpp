@@ -1,37 +1,106 @@
 #include "serve/cache.hpp"
 
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
 namespace leo::serve {
 
+namespace {
+
+std::size_t pow2_shards(std::size_t requested) {
+  std::size_t p = 1;
+  while (p < std::max<std::size_t>(1, requested)) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity),
+      per_shard_capacity_(
+          capacity == 0 ? 0
+                        : std::max<std::size_t>(
+                              1, (capacity + pow2_shards(shards) - 1) /
+                                     pow2_shards(shards))),
+      shards_(pow2_shards(shards)) {}
+
+ResultCache::Shard& ResultCache::shard_for(std::uint64_t key) noexcept {
+  // Keys are FNV-1a hashes already; fold the high half in so either half
+  // alone can't bias shard choice.
+  const std::uint64_t mixed = key ^ (key >> 32);
+  return shards_[mixed & (shards_.size() - 1)];
+}
+
 std::optional<core::EvolutionResult> ResultCache::lookup(std::uint64_t key) {
-  const std::scoped_lock lock(mutex_);
-  const auto it = map_.find(key);
-  if (it == map_.end()) {
-    ++misses_;
+  Shard& shard = shard_for(key);
+  const std::scoped_lock lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
     return std::nullopt;
   }
-  ++hits_;
-  return it->second;
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh
+  return it->second->second;
 }
 
 void ResultCache::insert(std::uint64_t key,
                          const core::EvolutionResult& result) {
-  const std::scoped_lock lock(mutex_);
-  map_.insert_or_assign(key, result);
+  Shard& shard = shard_for(key);
+  std::uint64_t evicted = 0;
+  {
+    const std::scoped_lock lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = result;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    shard.lru.emplace_front(key, result);
+    shard.index.emplace(key, shard.lru.begin());
+    while (per_shard_capacity_ != 0 &&
+           shard.index.size() > per_shard_capacity_) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+      ++shard.evictions;
+      ++evicted;
+    }
+  }
+  if (evicted != 0 && obs::enabled()) {
+    obs::registry().counter("leo_serve_cache_evictions_total").inc(evicted);
+  }
 }
 
 CacheStats ResultCache::stats() const {
-  const std::scoped_lock lock(mutex_);
-  return CacheStats{hits_, misses_, map_.size()};
+  CacheStats stats;
+  stats.capacity = capacity_;
+  stats.shards = shards_.size();
+  for (const Shard& shard : shards_) {
+    const std::scoped_lock lock(shard.mutex);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.entries += shard.index.size();
+    stats.evictions += shard.evictions;
+  }
+  return stats;
 }
 
 std::size_t ResultCache::size() const {
-  const std::scoped_lock lock(mutex_);
-  return map_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::scoped_lock lock(shard.mutex);
+    total += shard.index.size();
+  }
+  return total;
 }
 
 void ResultCache::clear() {
-  const std::scoped_lock lock(mutex_);
-  map_.clear();
+  for (Shard& shard : shards_) {
+    const std::scoped_lock lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+  }
 }
 
 }  // namespace leo::serve

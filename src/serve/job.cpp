@@ -12,11 +12,66 @@ const char* to_string(JobState state) noexcept {
     case JobState::kRunning: return "running";
     case JobState::kSucceeded: return "succeeded";
     case JobState::kSuspended: return "suspended";
+    case JobState::kBudgetExhausted: return "budget-exhausted";
     case JobState::kCancelled: return "cancelled";
+    case JobState::kRejected: return "rejected";
     case JobState::kFailed: return "failed";
   }
   return "unknown";
 }
+
+namespace detail {
+
+const char* terminal_counter_name(JobState state) noexcept {
+  switch (state) {
+    case JobState::kSucceeded: return "leo_serve_jobs_succeeded_total";
+    case JobState::kSuspended: return "leo_serve_jobs_suspended_total";
+    case JobState::kBudgetExhausted:
+      return "leo_serve_jobs_budget_exhausted_total";
+    case JobState::kCancelled: return "leo_serve_jobs_cancelled_total";
+    case JobState::kRejected: return "leo_serve_jobs_rejected_total";
+    case JobState::kFailed: return "leo_serve_jobs_failed_total";
+    case JobState::kQueued:
+    case JobState::kRunning: break;
+  }
+  return nullptr;
+}
+
+void Job::enter_terminal_locked(JobState s, std::uint64_t index) {
+  state = s;
+  completion_index = index;
+  cv.notify_all();
+  if (batch) {
+    const std::scoped_lock lock(batch->mutex);
+    ++batch->terminal;
+    batch->cv.notify_all();
+  }
+}
+
+void complete_followers(std::vector<std::shared_ptr<Job>>&& followers,
+                        const Job& primary,
+                        std::atomic<std::uint64_t>* completions) {
+  if (followers.empty()) return;
+  // The primary is terminal, so its outcome fields are immutable; read
+  // them without its mutex.
+  const char* counter = terminal_counter_name(primary.state);
+  for (const auto& follower : followers) {
+    const std::scoped_lock lock(follower->mutex);
+    if (follower->state != JobState::kQueued) continue;  // cancelled solo
+    follower->result = primary.result;
+    follower->error = primary.error;
+    follower->snapshot = primary.snapshot;
+    follower->progress.store(primary.progress.load(std::memory_order_acquire),
+                             std::memory_order_release);
+    const std::uint64_t index =
+        completions ? completions->fetch_add(1, std::memory_order_relaxed) + 1
+                    : 0;
+    follower->enter_terminal_locked(primary.state, index);
+    if (counter && obs::enabled()) obs::registry().counter(counter).inc();
+  }
+}
+
+}  // namespace detail
 
 namespace {
 
@@ -50,6 +105,12 @@ bool JobHandle::from_cache() const {
   return job.from_cache;
 }
 
+bool JobHandle::coalesced() const {
+  detail::Job& job = deref(job_);
+  const std::scoped_lock lock(job.mutex);
+  return job.coalesced;
+}
+
 std::uint64_t JobHandle::completion_index() const {
   detail::Job& job = deref(job_);
   const std::scoped_lock lock(job.mutex);
@@ -70,20 +131,32 @@ core::EvolutionResult JobHandle::wait() {
     throw std::runtime_error("job " + std::to_string(job.id) +
                              " failed: " + job.error);
   }
+  if (job.state == JobState::kRejected) {
+    throw std::runtime_error("job " + std::to_string(job.id) +
+                             " rejected: " + job.error);
+  }
   return job.result;
 }
 
 void JobHandle::cancel() {
   detail::Job& job = deref(job_);
   job.cancel_requested.store(true, std::memory_order_relaxed);
-  const std::scoped_lock lock(job.mutex);
-  if (job.state == JobState::kQueued) {
-    job.state = JobState::kCancelled;
-    if (obs::enabled()) {
-      obs::registry().counter("leo_serve_jobs_cancelled_total").inc();
+  std::vector<std::shared_ptr<detail::Job>> followers;
+  {
+    const std::scoped_lock lock(job.mutex);
+    if (job.state == JobState::kQueued) {
+      followers = std::move(job.followers);
+      job.followers.clear();
+      job.enter_terminal_locked(JobState::kCancelled, 0);
+      if (obs::enabled()) {
+        obs::registry().counter("leo_serve_jobs_cancelled_total").inc();
+      }
     }
-    job.cv.notify_all();
   }
+  // A queued primary cancelled through its handle takes its coalesced
+  // followers with it: they share one execution, and that execution will
+  // never run. (The stale in-flight map entry is reaped lazily.)
+  detail::complete_followers(std::move(followers), job, nullptr);
 }
 
 Snapshot JobHandle::checkpoint() {

@@ -4,18 +4,29 @@
 // Lifecycle:
 //
 //   kQueued ──────────────► kCancelled        (cancelled before starting)
+//      │  └───────────────► kRejected         (shed by admission control;
+//      │                                       wait() throws)
 //      │ popped by a worker
 //      ▼
 //   kRunning ─► kSucceeded                    (target reached, or
 //      │                                       config.max_generations done)
-//      ├──────► kSuspended                    (generation budget exhausted;
-//      │                                       snapshot available → resume)
+//      ├──────► kSuspended                    (software job stopped by its
+//      │                                       generation budget; snapshot
+//      │                                       available → resume())
+//      ├──────► kBudgetExhausted              (hardware job stopped by its
+//      │                                       generation budget; the RTL
+//      │                                       state is not serializable, so
+//      │                                       there is no snapshot and no
+//      │                                       resume — rerun instead)
 //      ├──────► kCancelled                    (cooperative cancel; software
 //      │                                       jobs carry a snapshot)
 //      └──────► kFailed                       (exception; error() set)
 //
 // Jobs that hit the result cache go straight to kSucceeded without ever
-// occupying a worker (from_cache() == true).
+// occupying a worker (from_cache() == true). Coalesced followers — a
+// submit() whose identical job was already queued/running — likewise never
+// run: they stay kQueued until the primary execution finishes and then
+// inherit its terminal state, result and snapshot (coalesced() == true).
 #pragma once
 
 #include <atomic>
@@ -25,6 +36,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/evolution_engine.hpp"
 #include "serve/checkpoint.hpp"
@@ -36,7 +48,9 @@ enum class JobState : std::uint8_t {
   kRunning,
   kSucceeded,
   kSuspended,
+  kBudgetExhausted,
   kCancelled,
+  kRejected,
   kFailed,
 };
 
@@ -50,10 +64,12 @@ enum class JobState : std::uint8_t {
 struct JobOptions {
   /// Higher runs first; ties run in submission order.
   int priority = 0;
-  /// Absolute generation ceiling (0 = none). A job stopped by its budget
-  /// ends kSuspended with a snapshot instead of kSucceeded.
+  /// Absolute generation ceiling (0 = none). A software job stopped by its
+  /// budget ends kSuspended with a snapshot; a hardware job, which cannot
+  /// snapshot, ends kBudgetExhausted.
   std::uint64_t generation_budget = 0;
-  /// Consult/populate the deterministic result cache.
+  /// Consult/populate the deterministic result cache, and allow this
+  /// submission to coalesce with an identical in-flight job.
   bool use_cache = true;
 };
 
@@ -90,6 +106,16 @@ namespace detail {
                      static_cast<unsigned>(packed & 0xFFFFu)};
 }
 
+/// Completion bookkeeping shared by every job of one submit_batch() call:
+/// `terminal` counts jobs that reached a terminal state, bumped exactly
+/// once per job (Job::enter_terminal_locked). BatchHandle waits on `cv`.
+/// Leaf in the lock order: job mutexes are never taken while holding it.
+struct BatchState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t terminal = 0;
+};
+
 /// Shared state between EvolutionService (writer) and JobHandle (reader).
 /// Mutable fields are guarded by `mutex`; the two request flags are
 /// lock-free atomics because the runner polls them every generation.
@@ -107,6 +133,8 @@ struct Job {
   const std::uint64_t cache_key;
   /// Set for jobs created by EvolutionService::resume().
   std::optional<Snapshot> resume_from;
+  /// Set before the job is published; nullptr outside submit_batch().
+  std::shared_ptr<BatchState> batch;
 
   std::atomic<bool> cancel_requested{false};
   std::atomic<bool> checkpoint_requested{false};
@@ -119,10 +147,35 @@ struct Job {
   core::EvolutionResult result;
   std::string error;
   bool from_cache = false;
+  /// True for followers that attached to an identical in-flight job
+  /// instead of enqueueing their own execution.
+  bool coalesced = false;
   std::uint64_t completion_index = 0;
   std::optional<Snapshot> snapshot;
   std::uint64_t snapshot_seq = 0;  ///< bumped on every capture
+  /// Coalesced submissions attached to THIS job's execution; completed
+  /// with this job's outcome when it turns terminal. Guarded by `mutex`.
+  std::vector<std::shared_ptr<Job>> followers;
+
+  /// Moves the job into terminal state `s` and wakes every waiter — the
+  /// job's own cv and, for batch members, the batch cv. `mutex` must be
+  /// held. Must be called exactly once per job (callers guard on the
+  /// current state being non-terminal).
+  void enter_terminal_locked(JobState s, std::uint64_t index);
 };
+
+/// `leo_serve_jobs_*_total` counter name for a terminal state (nullptr for
+/// non-terminal states). Every path that terminalizes a job — scheduler,
+/// handle-side cancel, follower propagation — counts through this map.
+[[nodiscard]] const char* terminal_counter_name(JobState state) noexcept;
+
+/// Completes `followers` with `primary`'s terminal outcome (state, result,
+/// error, snapshot, progress). Call after the primary is terminal, without
+/// its mutex held; followers already cancelled individually are skipped.
+/// `completions` stamps completion_index when non-null.
+void complete_followers(std::vector<std::shared_ptr<Job>>&& followers,
+                        const Job& primary,
+                        std::atomic<std::uint64_t>* completions);
 
 }  // namespace detail
 
@@ -139,29 +192,35 @@ class JobHandle {
   [[nodiscard]] JobState state() const;
   [[nodiscard]] JobProgress progress() const;
   [[nodiscard]] bool from_cache() const;
+  /// True if this submission attached to an identical in-flight execution
+  /// instead of running its own (see EvolutionService coalescing).
+  [[nodiscard]] bool coalesced() const;
   /// Monotone completion stamp (1, 2, ...) assigned when a job reaches a
   /// terminal state; 0 while live. Exposes scheduling order to callers.
   [[nodiscard]] std::uint64_t completion_index() const;
-  /// Error message; empty unless state() == kFailed.
+  /// Error message; empty unless state() is kFailed or kRejected.
   [[nodiscard]] std::string error() const;
 
   /// Blocks until the job is terminal. Returns the (possibly partial)
-  /// result for kSucceeded / kSuspended / kCancelled; throws
-  /// std::runtime_error for kFailed.
+  /// result for kSucceeded / kSuspended / kBudgetExhausted / kCancelled;
+  /// throws std::runtime_error for kFailed and kRejected.
   core::EvolutionResult wait();
 
   /// Requests cooperative cancellation; returns immediately. Queued jobs
-  /// cancel instantly, running jobs at the next generation boundary.
+  /// (and not-yet-completed coalesced followers) cancel instantly, running
+  /// jobs at the next generation boundary.
   void cancel();
 
   /// Captures a snapshot at the next generation boundary and blocks until
   /// it is available (or the job became terminal). The run continues
   /// unaffected. Throws for jobs that cannot snapshot (hardware backend,
-  /// cache hits, failed jobs).
+  /// cache hits, failed jobs). For coalesced followers this blocks until
+  /// the primary execution finishes and returns its final snapshot.
   Snapshot checkpoint();
 
   /// Latest captured snapshot, if any: an explicit checkpoint(), or the
-  /// final state a software job leaves behind on suspend/cancel/success.
+  /// final state a software job leaves behind on suspend/cancel/success
+  /// (propagated to coalesced followers as well).
   [[nodiscard]] std::optional<Snapshot> snapshot() const;
 
  private:

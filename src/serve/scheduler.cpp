@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -18,6 +19,15 @@ bool schedule_before(const detail::Job& a, const detail::Job& b) {
   return a.id < b.id;
 }
 
+const char* to_string(AdmissionPolicy policy) noexcept {
+  switch (policy) {
+    case AdmissionPolicy::kBlock: return "block";
+    case AdmissionPolicy::kReject: return "reject";
+    case AdmissionPolicy::kShed: return "shed";
+  }
+  return "unknown";
+}
+
 namespace {
 
 /// std heap comparator: "less" means scheduled later.
@@ -30,13 +40,15 @@ bool heap_less(const std::shared_ptr<detail::Job>& a,
 struct ServeMetrics {
   obs::Counter& submitted = obs::registry().counter("leo_serve_jobs_submitted_total");
   obs::Counter& resumed = obs::registry().counter("leo_serve_jobs_resumed_total");
-  obs::Counter& succeeded = obs::registry().counter("leo_serve_jobs_succeeded_total");
-  obs::Counter& suspended = obs::registry().counter("leo_serve_jobs_suspended_total");
-  obs::Counter& cancelled = obs::registry().counter("leo_serve_jobs_cancelled_total");
-  obs::Counter& failed = obs::registry().counter("leo_serve_jobs_failed_total");
+  obs::Counter& coalesced = obs::registry().counter("leo_serve_jobs_coalesced_total");
+  obs::Counter& batches = obs::registry().counter("leo_serve_batches_submitted_total");
   obs::Counter& cache_hits = obs::registry().counter("leo_serve_cache_hits_total");
   obs::Counter& cache_misses = obs::registry().counter("leo_serve_cache_misses_total");
   obs::Counter& checkpoints = obs::registry().counter("leo_serve_checkpoints_total");
+  obs::Counter& admission_blocked =
+      obs::registry().counter("leo_serve_admission_blocked_total");
+  obs::Counter& admission_rejected =
+      obs::registry().counter("leo_serve_admission_rejected_total");
   obs::Gauge& queue_depth = obs::registry().gauge("leo_serve_queue_depth");
   obs::Gauge& jobs_running = obs::registry().gauge("leo_serve_jobs_running");
 
@@ -46,32 +58,37 @@ struct ServeMetrics {
   }
 };
 
+/// Terminal-state counters (leo_serve_jobs_<state>_total) resolve through
+/// detail::terminal_counter_name so the handle-side cancel path and the
+/// follower propagation count identically to the scheduler paths.
 void count_terminal(JobState state) {
   if (!obs::enabled()) return;
-  ServeMetrics& m = ServeMetrics::get();
-  switch (state) {
-    case JobState::kSucceeded: m.succeeded.inc(); break;
-    case JobState::kSuspended: m.suspended.inc(); break;
-    case JobState::kCancelled: m.cancelled.inc(); break;
-    case JobState::kFailed: m.failed.inc(); break;
-    case JobState::kQueued:
-    case JobState::kRunning: break;
+  if (const char* name = detail::terminal_counter_name(state)) {
+    obs::registry().counter(name).inc();
   }
 }
 
 }  // namespace
 
-EvolutionService::EvolutionService(std::size_t threads) : pool_(threads) {}
+EvolutionService::EvolutionService(std::size_t threads)
+    : EvolutionService(ServiceOptions{.threads = threads}) {}
 
 EvolutionService::EvolutionService(std::size_t threads,
                                    TelemetryOptions telemetry)
-    : pool_(threads) {
-  if (telemetry.sink) {
-    if (telemetry.capture_logs) {
-      log_hook_id_ = obs::attach_log_sink(telemetry.sink);
+    : EvolutionService(
+          ServiceOptions{.threads = threads, .telemetry = std::move(telemetry)}) {}
+
+EvolutionService::EvolutionService(const ServiceOptions& options)
+    : max_queue_depth_(options.max_queue_depth),
+      admission_(options.admission),
+      cache_(options.cache_capacity, options.cache_shards),
+      pool_(options.threads) {
+  if (options.telemetry.sink) {
+    if (options.telemetry.capture_logs) {
+      log_hook_id_ = obs::attach_log_sink(options.telemetry.sink);
     }
     flusher_ = std::make_unique<obs::PeriodicFlusher>(
-        telemetry.sink, telemetry.flush_period);
+        options.telemetry.sink, options.telemetry.flush_period);
   }
 }
 
@@ -83,6 +100,7 @@ EvolutionService::~EvolutionService() {
     shutting_down_ = true;
     live = std::move(live_jobs_);
   }
+  admission_cv_.notify_all();  // wake blocked submitters; they throw
   for (const auto& weak : live) {
     if (const auto job = weak.lock()) {
       job->cancel_requested.store(true, std::memory_order_relaxed);
@@ -94,45 +112,197 @@ EvolutionService::~EvolutionService() {
     }
   }
   // pool_ is the last member, so its destructor runs first: it drains the
-  // queued run_next() tasks (which observe the cancel flags) and joins.
+  // queued run_next() tasks (which observe the cancel flags, complete the
+  // jobs, and release any coalesced followers) and joins.
 }
 
 JobHandle EvolutionService::submit(const core::EvolutionConfig& config,
                                    JobOptions options) {
-  std::shared_ptr<detail::Job> job;
-  {
-    const std::scoped_lock lock(mutex_);
+  return submit_one(config, options, nullptr);
+}
+
+BatchHandle EvolutionService::submit_batch(const std::vector<BatchItem>& items) {
+  if (obs::enabled()) ServeMetrics::get().batches.inc();
+  auto state = std::make_shared<detail::BatchState>();
+  std::vector<JobHandle> handles;
+  handles.reserve(items.size());
+  for (const BatchItem& item : items) {
+    handles.push_back(submit_one(item.config, item.options, state));
+  }
+  return BatchHandle(std::move(state), std::move(handles));
+}
+
+JobHandle EvolutionService::submit_one(
+    const core::EvolutionConfig& config, JobOptions options,
+    std::shared_ptr<detail::BatchState> batch) {
+  const std::uint64_t key = config_key(config);
+  if (obs::enabled()) ServeMetrics::get().submitted.inc();
+
+  std::unique_lock lock(mutex_);
+  bool cache_counted = false;  // obs hit/miss counted once per submission
+  for (;;) {
     if (shutting_down_) {
       throw std::runtime_error("EvolutionService: submit after shutdown");
     }
-    job = std::make_shared<detail::Job>(next_id_++, config, options,
-                                        config_key(config));
+
+    if (options.use_cache) {
+      // Coalesce with an identical in-flight execution. Same cache key and
+      // same generation budget means the same deterministic run, so the
+      // follower can simply share the primary's outcome — the in-flight
+      // analogue of the result cache. Checked and registered under mutex_,
+      // which closes the lookup/insert check-then-act race that used to
+      // run concurrent duplicates to completion.
+      if (const auto it = inflight_.find(key); it != inflight_.end()) {
+        if (const auto primary = it->second.lock()) {
+          bool attached = false;
+          std::shared_ptr<detail::Job> follower;
+          {
+            const std::scoped_lock primary_lock(primary->mutex);
+            if (!is_terminal(primary->state) && primary->options.use_cache &&
+                primary->options.generation_budget ==
+                    options.generation_budget) {
+              follower = std::make_shared<detail::Job>(next_id_++, config,
+                                                       options, key);
+              follower->coalesced = true;
+              follower->batch = std::move(batch);
+              primary->followers.push_back(follower);
+              attached = true;
+            }
+          }
+          if (attached) {
+            if (obs::enabled()) ServeMetrics::get().coalesced.inc();
+            return JobHandle(std::move(follower));
+          }
+        } else {
+          inflight_.erase(it);
+        }
+      }
+
+      if (auto cached = cache_.lookup(key)) {
+        if (obs::enabled() && !cache_counted) {
+          ServeMetrics::get().cache_hits.inc();
+        }
+        auto job =
+            std::make_shared<detail::Job>(next_id_++, config, options, key);
+        job->batch = std::move(batch);
+        {
+          const std::scoped_lock job_lock(job->mutex);
+          job->progress.store(
+              detail::pack_progress(cached->generations, cached->best_fitness),
+              std::memory_order_release);
+          job->result = std::move(*cached);
+          job->from_cache = true;
+          job->enter_terminal_locked(
+              JobState::kSucceeded,
+              completions_.fetch_add(1, std::memory_order_relaxed) + 1);
+        }
+        count_terminal(JobState::kSucceeded);
+        return JobHandle(std::move(job));
+      }
+      if (obs::enabled() && !cache_counted) ServeMetrics::get().cache_misses.inc();
+      cache_counted = true;
+    }
+
+    if (admit_locked(lock, options)) break;
+    if (admission_ != AdmissionPolicy::kBlock) {
+      // kShed decided to shed the incoming job: hand back an already
+      // rejected handle instead of growing the queue.
+      auto job =
+          std::make_shared<detail::Job>(next_id_++, config, options, key);
+      job->batch = std::move(batch);
+      {
+        const std::scoped_lock job_lock(job->mutex);
+        job->error = "shed by admission control (queue full, policy=shed)";
+        job->enter_terminal_locked(
+            JobState::kRejected,
+            completions_.fetch_add(1, std::memory_order_relaxed) + 1);
+      }
+      count_terminal(JobState::kRejected);
+      return JobHandle(std::move(job));
+    }
+    // kBlock woke up: loop to re-check shutdown, coalescing and the cache
+    // (the identical job may have completed while we were waiting).
   }
 
-  if (obs::enabled()) ServeMetrics::get().submitted.inc();
-  if (options.use_cache) {
-    auto cached = cache_.lookup(job->cache_key);
-    if (obs::enabled()) {
-      (cached ? ServeMetrics::get().cache_hits
-              : ServeMetrics::get().cache_misses)
-          .inc();
-    }
-    if (cached) {
-      const std::scoped_lock job_lock(job->mutex);
-      job->progress.store(
-          detail::pack_progress(cached->generations, cached->best_fitness),
-          std::memory_order_release);
-      job->result = std::move(*cached);
-      job->from_cache = true;
-      job->state = JobState::kSucceeded;
-      job->completion_index =
-          completions_.fetch_add(1, std::memory_order_relaxed) + 1;
-      count_terminal(JobState::kSucceeded);
-      job->cv.notify_all();
-      return JobHandle(job);
+  auto job = std::make_shared<detail::Job>(next_id_++, config, options, key);
+  job->batch = std::move(batch);
+  queue_.push_back(job);
+  std::push_heap(queue_.begin(), queue_.end(), heap_less);
+  if (options.use_cache) inflight_[key] = job;
+  live_jobs_.push_back(job);
+  if (live_jobs_.size() >= 64 && live_jobs_.size() >= 2 * live_jobs_floor_) {
+    compact_live_jobs_locked();
+  }
+  if (obs::enabled()) {
+    ServeMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
+  }
+  lock.unlock();
+  pool_.submit([this] { run_next(); });
+  return JobHandle(std::move(job));
+}
+
+bool EvolutionService::admit_locked(std::unique_lock<std::mutex>& lock,
+                                    const JobOptions& options) {
+  if (max_queue_depth_ == 0 || queue_.size() < max_queue_depth_) return true;
+  switch (admission_) {
+    case AdmissionPolicy::kBlock:
+      if (obs::enabled()) ServeMetrics::get().admission_blocked.inc();
+      admission_cv_.wait(lock, [this] {
+        return shutting_down_ || queue_.size() < max_queue_depth_;
+      });
+      // Caller loops: re-checks shutdown/coalescing/cache, then re-admits.
+      return false;
+    case AdmissionPolicy::kReject:
+      if (obs::enabled()) ServeMetrics::get().admission_rejected.inc();
+      throw QueueFullError(
+          "EvolutionService: queue full (depth " +
+          std::to_string(queue_.size()) + ", cap " +
+          std::to_string(max_queue_depth_) + ", policy=reject)");
+    case AdmissionPolicy::kShed: {
+      // Shed the lowest-scheduled queued job if the incoming one outranks
+      // it; ties shed the newcomer (it would be scheduled last anyway).
+      const auto victim_it =
+          std::min_element(queue_.begin(), queue_.end(), heap_less);
+      if (victim_it == queue_.end()) return true;  // cap 0-sized queue
+      const std::shared_ptr<detail::Job> victim = *victim_it;
+      bool victim_live = false;
+      {
+        const std::scoped_lock victim_lock(victim->mutex);
+        victim_live = victim->state == JobState::kQueued;
+      }
+      if (victim_live && victim->options.priority >= options.priority) {
+        return false;  // incoming job is (tied-)lowest: shed it instead
+      }
+      queue_.erase(victim_it);
+      std::make_heap(queue_.begin(), queue_.end(), heap_less);
+      if (obs::enabled()) {
+        ServeMetrics::get().queue_depth.set(
+            static_cast<double>(queue_.size()));
+      }
+      if (const auto it = inflight_.find(victim->cache_key);
+          it != inflight_.end()) {
+        if (it->second.lock() == victim) inflight_.erase(it);
+      }
+      std::vector<std::shared_ptr<detail::Job>> followers;
+      bool marked = false;
+      {
+        const std::scoped_lock victim_lock(victim->mutex);
+        if (victim->state == JobState::kQueued) {
+          victim->error = "shed by admission control (queue full, policy=shed)";
+          followers = std::move(victim->followers);
+          victim->followers.clear();
+          victim->enter_terminal_locked(
+              JobState::kRejected,
+              completions_.fetch_add(1, std::memory_order_relaxed) + 1);
+          marked = true;
+        }
+      }
+      if (marked) count_terminal(JobState::kRejected);
+      detail::complete_followers(std::move(followers), *victim, &completions_);
+      return true;
     }
   }
-  return enqueue(std::move(job));
+  return true;
 }
 
 JobHandle EvolutionService::resume(const Snapshot& snapshot,
@@ -162,16 +332,57 @@ JobHandle EvolutionService::resume(const Snapshot& snapshot,
 
 JobHandle EvolutionService::enqueue(std::shared_ptr<detail::Job> job) {
   {
-    const std::scoped_lock lock(mutex_);
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      if (shutting_down_) {
+        throw std::runtime_error("EvolutionService: submit after shutdown");
+      }
+      if (admit_locked(lock, job->options)) break;
+      if (admission_ != AdmissionPolicy::kBlock) {
+        const std::scoped_lock job_lock(job->mutex);
+        job->error = "shed by admission control (queue full, policy=shed)";
+        job->enter_terminal_locked(
+            JobState::kRejected,
+            completions_.fetch_add(1, std::memory_order_relaxed) + 1);
+        count_terminal(JobState::kRejected);
+        return JobHandle(std::move(job));
+      }
+    }
+    // Resumed jobs are deliberately NOT registered in inflight_: their
+    // start state is a snapshot, not the config's generation zero, so a
+    // fresh submission of the same config must not share their outcome.
     queue_.push_back(job);
     std::push_heap(queue_.begin(), queue_.end(), heap_less);
     live_jobs_.push_back(job);
+    if (live_jobs_.size() >= 64 && live_jobs_.size() >= 2 * live_jobs_floor_) {
+      compact_live_jobs_locked();
+    }
     if (obs::enabled()) {
       ServeMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
     }
   }
   pool_.submit([this] { run_next(); });
   return JobHandle(std::move(job));
+}
+
+void EvolutionService::compact_live_jobs_locked() {
+  std::erase_if(live_jobs_, [](const std::weak_ptr<detail::Job>& weak) {
+    const auto job = weak.lock();
+    if (!job) return true;
+    const std::scoped_lock lock(job->mutex);
+    return is_terminal(job->state);
+  });
+  live_jobs_floor_ = std::max<std::size_t>(32, live_jobs_.size());
+}
+
+std::size_t EvolutionService::queue_depth() const {
+  const std::scoped_lock lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t EvolutionService::live_jobs_size() const {
+  const std::scoped_lock lock(mutex_);
+  return live_jobs_.size();
 }
 
 void EvolutionService::run_next() {
@@ -186,18 +397,20 @@ void EvolutionService::run_next() {
       ServeMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
     }
   }
+  if (max_queue_depth_ != 0) admission_cv_.notify_one();
+  bool cancelled = false;
   {
     const std::scoped_lock job_lock(job->mutex);
     if (job->state != JobState::kQueued) return;  // cancelled while queued
-    if (job->cancel_requested.load(std::memory_order_relaxed)) {
-      job->state = JobState::kCancelled;
-      job->completion_index =
-          completions_.fetch_add(1, std::memory_order_relaxed) + 1;
-      count_terminal(JobState::kCancelled);
-      job->cv.notify_all();
-      return;
-    }
+    // Claim the job before releasing the lock so a concurrent handle-side
+    // cancel cannot terminalize it twice; the cancelled branch below goes
+    // through finish(), which also releases coalesced followers.
     job->state = JobState::kRunning;
+    cancelled = job->cancel_requested.load(std::memory_order_relaxed);
+  }
+  if (cancelled) {
+    finish(*job, JobState::kCancelled);
+    return;
   }
   if (obs::enabled()) ServeMetrics::get().jobs_running.add(1.0);
   run_job(*job);
@@ -290,6 +503,8 @@ void EvolutionService::run_software_job(detail::Job& job) {
   }
 
   if (state == JobState::kSucceeded && job.options.use_cache) {
+    // Inserted BEFORE the inflight_ entry is erased in finish(), so a
+    // concurrent identical submit always sees one of the two.
     cache_.insert(job.cache_key, result);
   }
   finish(job, state);
@@ -320,7 +535,10 @@ void EvolutionService::run_hardware_job(detail::Job& job) {
     state = JobState::kCancelled;
   } else if (!result.reached_target && job.options.generation_budget != 0 &&
              result.generations >= job.options.generation_budget) {
-    state = JobState::kSuspended;  // budget hit; hardware has no snapshot
+    // The RTL simulator's state is not serializable, so a budget-stopped
+    // hardware run has no snapshot and cannot resume: an honest terminal
+    // state instead of a kSuspended that resume() would reject.
+    state = JobState::kBudgetExhausted;
   }
   if (state == JobState::kSucceeded && job.options.use_cache) {
     cache_.insert(job.cache_key, result);
@@ -329,12 +547,22 @@ void EvolutionService::run_hardware_job(detail::Job& job) {
 }
 
 void EvolutionService::finish(detail::Job& job, JobState state) {
-  const std::scoped_lock lock(job.mutex);
-  job.state = state;
-  job.completion_index =
-      completions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    const std::scoped_lock lock(mutex_);
+    if (const auto it = inflight_.find(job.cache_key); it != inflight_.end()) {
+      if (it->second.lock().get() == &job) inflight_.erase(it);
+    }
+  }
+  std::vector<std::shared_ptr<detail::Job>> followers;
+  {
+    const std::scoped_lock lock(job.mutex);
+    followers = std::move(job.followers);
+    job.followers.clear();
+    job.enter_terminal_locked(
+        state, completions_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
   count_terminal(state);
-  job.cv.notify_all();
+  detail::complete_followers(std::move(followers), job, &completions_);
 }
 
 }  // namespace leo::serve

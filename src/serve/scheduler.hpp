@@ -8,24 +8,38 @@
 //
 //   * a priority queue scheduled onto util::ThreadPool (higher priority
 //     first, FIFO within a priority);
-//   * job handles with status/progress polling and blocking wait();
+//   * job handles with status/progress polling and blocking wait(), and
+//     batch handles (submit_batch) over whole sweeps;
+//   * bounded admission with backpressure: a configurable max queue depth
+//     past which submit() blocks, rejects with QueueFullError, or sheds
+//     the lowest-priority queued work (AdmissionPolicy), so a misbehaving
+//     client cannot grow the queue without bound;
+//   * in-flight coalescing: a submission whose identical job (same
+//     canonical config key, same generation budget, cache enabled) is
+//     already queued or running attaches to that execution as a follower
+//     instead of re-running it — legitimate for the same reason the
+//     result cache is: evolve() is deterministic in (seed, config);
 //   * cooperative cancellation and per-job generation budgets (deadlines),
 //     threaded into ga::GaEngine and the RTL GAP loop via core::RunControl;
 //   * checkpoint/resume: software jobs can be snapshotted at any
 //     generation boundary and resumed — bit-identical to an uninterrupted
 //     run — in this service, another service, or another process
 //     (serve::save_snapshot / load_snapshot);
-//   * a deterministic result cache keyed by serve::config_key, legitimate
-//     because evolve() is deterministic in (seed, config).
+//   * a deterministic, capacity-bounded, sharded LRU result cache keyed
+//     by serve::config_key (see serve/cache.hpp).
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "core/evolution_engine.hpp"
 #include "obs/export.hpp"
+#include "serve/batch.hpp"
 #include "serve/cache.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/job.hpp"
@@ -44,6 +58,39 @@ struct TelemetryOptions {
   bool capture_logs = false;
 };
 
+/// What submit() does when the queue is at max_queue_depth.
+enum class AdmissionPolicy : std::uint8_t {
+  kBlock,   ///< block the submitter until a worker drains a slot
+  kReject,  ///< throw QueueFullError
+  /// Keep the queue bound by shedding the lowest-priority queued job
+  /// (which turns kRejected); if the incoming job itself is lowest
+  /// (ties shed the newcomer), it is returned already kRejected.
+  kShed,
+};
+
+[[nodiscard]] const char* to_string(AdmissionPolicy policy) noexcept;
+
+/// Thrown by submit()/submit_batch() under AdmissionPolicy::kReject when
+/// the queue is at capacity.
+class QueueFullError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct ServiceOptions {
+  /// Worker threads; 0 uses all hardware threads.
+  std::size_t threads = 0;
+  /// Max queued (not yet running) jobs; 0 = unbounded. Cache hits and
+  /// coalesced followers never occupy a queue slot, so they are admitted
+  /// even at capacity.
+  std::size_t max_queue_depth = 0;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// Result-cache entry cap (0 = unbounded) and shard count.
+  std::size_t cache_capacity = ResultCache::kDefaultCapacity;
+  std::size_t cache_shards = ResultCache::kDefaultShards;
+  TelemetryOptions telemetry{};
+};
+
 /// Scheduling order: higher priority first, then submission (id) order.
 /// Exposed for testing.
 [[nodiscard]] bool schedule_before(const detail::Job& a, const detail::Job& b);
@@ -56,6 +103,9 @@ class EvolutionService {
   /// As above, with continuous telemetry export (see TelemetryOptions).
   EvolutionService(std::size_t threads, TelemetryOptions telemetry);
 
+  /// Full control: admission policy, queue bound, cache sizing, telemetry.
+  explicit EvolutionService(const ServiceOptions& options);
+
   /// Cancels every live job cooperatively, waits for workers to drain,
   /// then returns. Outstanding handles stay valid (terminal).
   ~EvolutionService();
@@ -64,19 +114,47 @@ class EvolutionService {
   EvolutionService& operator=(const EvolutionService&) = delete;
 
   /// Enqueues one evolution. Cache hits complete immediately without
-  /// occupying a worker.
+  /// occupying a worker; a submission identical to an in-flight job
+  /// coalesces onto it. At max_queue_depth the admission policy applies:
+  /// kBlock waits, kReject throws QueueFullError, kShed evicts the
+  /// lowest-priority queued job (possibly this one — check state()).
   JobHandle submit(const core::EvolutionConfig& config, JobOptions options = {});
+
+  /// Submits every item (in order, under the same admission policy —
+  /// under kReject a mid-batch throw leaves earlier jobs running) and
+  /// returns one handle over the whole fleet. Identical items coalesce
+  /// into a single execution.
+  BatchHandle submit_batch(const std::vector<BatchItem>& items);
 
   /// Enqueues the continuation of a suspended run. Only software-backend
   /// snapshots are resumable; throws std::invalid_argument otherwise.
+  /// Resumed jobs never coalesce (their start state is not the config's).
   JobHandle resume(const Snapshot& snapshot, JobOptions options = {});
 
   [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
   void clear_cache() { cache_.clear(); }
 
+  /// Jobs currently queued (excluding running, cache hits, followers).
+  [[nodiscard]] std::size_t queue_depth() const;
+  /// Size of the live-job bookkeeping vector, including not-yet-reaped
+  /// terminal entries. Stays O(live jobs) under sustained traffic thanks
+  /// to opportunistic compaction; exposed so tests can assert the bound.
+  [[nodiscard]] std::size_t live_jobs_size() const;
+
  private:
+  JobHandle submit_one(const core::EvolutionConfig& config, JobOptions options,
+                       std::shared_ptr<detail::BatchState> batch);
+  /// Applies the admission policy while holding `lock`. Returns true if
+  /// the caller may enqueue; false means "shed the incoming job" (kShed
+  /// only). May block (kBlock) or throw (kReject / shutdown).
+  bool admit_locked(std::unique_lock<std::mutex>& lock,
+                    const JobOptions& options);
+  /// Removes the lowest-scheduled queued job and completes it kRejected.
+  /// Requires `mutex_` held; returns false if the queue was empty.
+  bool shed_lowest_locked();
   JobHandle enqueue(std::shared_ptr<detail::Job> job);
+  void compact_live_jobs_locked();
   void run_next();
   void run_job(detail::Job& job);
   void run_software_job(detail::Job& job);
@@ -84,14 +162,24 @@ class EvolutionService {
   void finish(detail::Job& job, JobState state);
 
   mutable std::mutex mutex_;
+  std::condition_variable admission_cv_;
   bool shutting_down_ = false;
   std::uint64_t next_id_ = 1;
+  std::size_t max_queue_depth_ = 0;
+  AdmissionPolicy admission_ = AdmissionPolicy::kBlock;
   std::atomic<std::uint64_t> completions_{0};
   /// Max-heap by schedule_before (std::push_heap/pop_heap).
   std::vector<std::shared_ptr<detail::Job>> queue_;
-  /// Every job ever submitted and not yet terminal at last sweep; used to
-  /// cancel live jobs on shutdown.
+  /// Primary (non-follower) jobs by cache key while queued or running;
+  /// identical submissions coalesce onto the mapped job. Entries are
+  /// erased on completion, or lazily when found dead.
+  std::unordered_map<std::uint64_t, std::weak_ptr<detail::Job>> inflight_;
+  /// Every job enqueued and not yet reaped; used to cancel live jobs on
+  /// shutdown. Compacted opportunistically (compact_live_jobs_locked)
+  /// whenever it doubles past the last sweep's floor, so a long-lived
+  /// service stays O(live) instead of O(ever submitted).
   std::vector<std::weak_ptr<detail::Job>> live_jobs_;
+  std::size_t live_jobs_floor_ = 32;
   ResultCache cache_;
   /// Log-hook id from obs::attach_log_sink (0 = none); removed on
   /// destruction before the flusher's final flush.

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "serve/batch.hpp"
 #include "serve/job.hpp"
 #include "serve/scheduler.hpp"
 
@@ -10,20 +11,19 @@ namespace leo::serve {
 TrialSummary run_trials_on(EvolutionService& service,
                            const core::EvolutionConfig& config, std::size_t n,
                            std::uint64_t base_seed) {
-  std::vector<JobHandle> handles;
-  handles.reserve(n);
+  // One batch per trial set: the whole fleet rides submit_batch(), so
+  // trials share the service's admission control and coalescing exactly
+  // like any other client.
+  std::vector<BatchItem> items(n);
   for (std::size_t i = 0; i < n; ++i) {
-    core::EvolutionConfig trial = config;
-    trial.seed = base_seed + i;
-    handles.push_back(service.submit(trial));
+    items[i].config = config;
+    items[i].config.seed = base_seed + i;
   }
+  BatchHandle batch = service.submit_batch(items);
 
   TrialSummary summary;
   summary.trials = n;
-  summary.runs.reserve(n);
-  for (JobHandle& handle : handles) {
-    summary.runs.push_back(handle.wait());
-  }
+  summary.runs = batch.results();
   for (const auto& run : summary.runs) {
     if (!run.reached_target) continue;
     ++summary.reached_target;

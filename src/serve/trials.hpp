@@ -2,9 +2,9 @@
 //
 // The paper's numbers are averages over runs ("an average of about 2000
 // generations"), so every experiment is N independent trials with
-// per-trial seeds derived from a base seed. Trials are submitted as jobs
-// to an EvolutionService (one job per seed), so the bench suite exercises
-// the same scheduling/caching path as the serve CLI; results are
+// per-trial seeds derived from a base seed. Trials ride submit_batch():
+// one batch per trial set, so the bench suite exercises the same
+// admission/coalescing/caching path as the serve CLI; results are
 // deterministic in (base_seed, n) regardless of scheduling (each trial's
 // RNG depends only on its own seed).
 //

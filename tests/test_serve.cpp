@@ -1,21 +1,31 @@
 // Tests for the evolution service: config keys, checkpoint round trips,
-// the deterministic result cache, and job scheduling/cancellation.
+// the deterministic result cache (sharded LRU), batch submission,
+// admission backpressure, in-flight coalescing, and job scheduling/
+// cancellation.
 #include "serve/scheduler.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "obs/metrics.hpp"
+#include "serve/batch.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/config_hash.hpp"
 #include "serve/trials.hpp"
 
 namespace leo::serve {
 namespace {
+
+std::uint64_t counter_value(const char* name) {
+  return obs::registry().counter(name).value();
+}
 
 core::EvolutionConfig base_config(std::uint64_t seed = 7) {
   core::EvolutionConfig config;
@@ -552,6 +562,550 @@ TEST(Trials, SharedServiceCachesRepeatedSweepPoints) {
   for (std::size_t i = 0; i < 4; ++i) {
     EXPECT_EQ(a.runs[i].best_genome, b.runs[i].best_genome);
   }
+}
+
+// ---- honest budget terminal state (hardware) ---------------------------
+
+/// A hardware job stopped by its generation budget cannot snapshot (the
+/// RTL state is not serializable), so it must not masquerade as the
+/// resumable kSuspended: it ends kBudgetExhausted with no snapshot, and
+/// checkpoint() refuses rather than handing back garbage.
+TEST(Service, HardwareBudgetStopIsTerminalWithoutSnapshot) {
+  core::EvolutionConfig config = base_config(7);
+  config.backend = core::Backend::kHardware;
+
+  EvolutionService service(1);
+  JobOptions options;
+  options.generation_budget = 2;
+  options.use_cache = false;
+  JobHandle job = service.submit(config, options);
+
+  const core::EvolutionResult partial = job.wait();
+  EXPECT_EQ(job.state(), JobState::kBudgetExhausted);
+  // The RTL loop polls its RunControl at a coarse boundary, so the stop
+  // lands at-or-after the budget — never before.
+  EXPECT_GE(partial.generations, 2u);
+  EXPECT_FALSE(partial.reached_target);
+  EXPECT_FALSE(job.snapshot().has_value());
+  EXPECT_THROW((void)job.checkpoint(), std::runtime_error);
+  // The partial result never pollutes the deterministic cache.
+  EXPECT_EQ(service.cache_stats().entries, 0u);
+}
+
+// ---- in-flight coalescing ----------------------------------------------
+
+/// The acceptance criterion (and the check-then-act regression): a batch
+/// of identical submissions races the cache — every job misses it before
+/// the first execution completes — yet the engine must run exactly once.
+/// Coalescing closes the race: the first submission becomes the primary,
+/// every later one either attaches to it in flight or (if the primary
+/// already finished) hits the cache. Verified via the obs counters.
+TEST(Coalescing, BatchOf64IdenticalConfigsRunsEngineOnce) {
+  const core::EvolutionConfig config = base_config(77);
+  const core::EvolutionResult direct = core::evolve(config);
+
+  const std::uint64_t submitted0 =
+      counter_value("leo_serve_jobs_submitted_total");
+  const std::uint64_t coalesced0 =
+      counter_value("leo_serve_jobs_coalesced_total");
+  const std::uint64_t hits0 = counter_value("leo_serve_cache_hits_total");
+  const std::uint64_t succeeded0 =
+      counter_value("leo_serve_jobs_succeeded_total");
+
+  EvolutionService service(2);
+  std::vector<BatchItem> items(64);
+  for (auto& item : items) item.config = config;
+  BatchHandle batch = service.submit_batch(items);
+  const std::vector<core::EvolutionResult> results = batch.results();
+
+  ASSERT_EQ(results.size(), 64u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.best_genome, direct.best_genome);
+    EXPECT_EQ(r.generations, direct.generations);
+    EXPECT_EQ(r.evaluations, direct.evaluations);
+  }
+
+  EXPECT_EQ(counter_value("leo_serve_jobs_submitted_total") - submitted0, 64u);
+  EXPECT_EQ(counter_value("leo_serve_jobs_succeeded_total") - succeeded0, 64u);
+  const std::uint64_t coalesced =
+      counter_value("leo_serve_jobs_coalesced_total") - coalesced0;
+  const std::uint64_t hits = counter_value("leo_serve_cache_hits_total") - hits0;
+  EXPECT_EQ(coalesced + hits, 63u) << "coalesced=" << coalesced
+                                   << " cache hits=" << hits;
+  EXPECT_EQ(service.cache_stats().entries, 1u) << "exactly one execution";
+
+  const BatchProgress p = batch.progress();
+  EXPECT_EQ(p.total, 64u);
+  EXPECT_EQ(p.terminal, 64u);
+  EXPECT_EQ(p.succeeded, 64u);
+  EXPECT_EQ(p.coalesced + p.from_cache, 63u);
+}
+
+TEST(Coalescing, FollowerInheritsSuspendedOutcomeAndSnapshot) {
+  EvolutionService service(1);
+  JobOptions options;
+  options.generation_budget = 10'000;
+  JobHandle primary = service.submit(stuck_config(), options);
+  JobHandle follower = service.submit(stuck_config(), options);
+  ASSERT_TRUE(follower.coalesced());
+  EXPECT_FALSE(primary.coalesced());
+
+  const core::EvolutionResult a = primary.wait();
+  const core::EvolutionResult b = follower.wait();
+  EXPECT_EQ(primary.state(), JobState::kSuspended);
+  EXPECT_EQ(follower.state(), JobState::kSuspended);
+  EXPECT_EQ(b.generations, a.generations);
+  EXPECT_EQ(b.best_genome, a.best_genome);
+  EXPECT_EQ(follower.progress().generation, 10'000u);
+  ASSERT_TRUE(primary.snapshot().has_value());
+  ASSERT_TRUE(follower.snapshot().has_value());
+  EXPECT_EQ(serialize_snapshot(*follower.snapshot()),
+            serialize_snapshot(*primary.snapshot()));
+  // Budget-suspended partial results never enter the cache.
+  EXPECT_EQ(service.cache_stats().entries, 0u);
+}
+
+TEST(Coalescing, RequiresMatchingBudgetAndCacheOptIn) {
+  EvolutionService service(1);
+  JobOptions run_opts;
+  run_opts.generation_budget = 400'000;
+  JobHandle primary = service.submit(stuck_config(), run_opts);
+
+  // A different budget is a different execution: no coalescing.
+  JobOptions other_budget = run_opts;
+  other_budget.generation_budget = 100;
+  JobHandle different = service.submit(stuck_config(), other_budget);
+  EXPECT_FALSE(different.coalesced());
+
+  // use_cache=false opts out of result sharing entirely.
+  JobOptions no_cache = run_opts;
+  no_cache.use_cache = false;
+  JobHandle fresh = service.submit(stuck_config(), no_cache);
+  EXPECT_FALSE(fresh.coalesced());
+
+  primary.cancel();
+  different.cancel();
+  fresh.cancel();
+  (void)primary.wait();
+  (void)different.wait();
+  (void)fresh.wait();
+}
+
+TEST(Coalescing, FollowerCancelDoesNotDisturbThePrimary) {
+  EvolutionService service(1);
+  JobOptions options;
+  options.generation_budget = 20'000;
+  JobHandle primary = service.submit(stuck_config(), options);
+  JobHandle follower = service.submit(stuck_config(), options);
+  ASSERT_TRUE(follower.coalesced());
+
+  follower.cancel();
+  (void)follower.wait();
+  EXPECT_EQ(follower.state(), JobState::kCancelled);
+
+  const core::EvolutionResult full = primary.wait();
+  EXPECT_EQ(primary.state(), JobState::kSuspended);
+  EXPECT_EQ(full.generations, 20'000u);
+}
+
+TEST(Coalescing, CancellingAQueuedPrimaryTakesItsFollowers) {
+  EvolutionService service(1);
+  JobOptions blocker_opts;
+  blocker_opts.use_cache = false;
+  blocker_opts.generation_budget = 100'000'000;
+  JobHandle blocker = service.submit(stuck_config(), blocker_opts);
+  while (blocker.state() == JobState::kQueued) std::this_thread::yield();
+
+  // Primary stays queued behind the blocker; the follower coalesces on it.
+  JobHandle primary = service.submit(base_config(90));
+  JobHandle follower = service.submit(base_config(90));
+  ASSERT_TRUE(follower.coalesced());
+
+  primary.cancel();
+  EXPECT_EQ(primary.state(), JobState::kCancelled);
+  (void)follower.wait();
+  EXPECT_EQ(follower.state(), JobState::kCancelled);
+
+  blocker.cancel();
+  (void)blocker.wait();
+}
+
+// ---- batch handles ------------------------------------------------------
+
+TEST(Batch, WaitAnyReturnsEachJobExactlyOnce) {
+  EvolutionService service(2);
+  std::vector<BatchItem> items(4);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i].config = base_config(300 + i);
+  }
+  BatchHandle batch = service.submit_batch(items);
+  ASSERT_TRUE(batch.valid());
+  ASSERT_EQ(batch.size(), 4u);
+
+  std::set<std::size_t> indices;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const std::size_t idx = batch.wait_any();
+    ASSERT_NE(idx, BatchHandle::npos);
+    ASSERT_LT(idx, items.size());
+    EXPECT_TRUE(is_terminal(batch.jobs()[idx].state()));
+    EXPECT_TRUE(indices.insert(idx).second) << "index " << idx << " twice";
+  }
+  EXPECT_EQ(indices.size(), 4u);
+  EXPECT_EQ(batch.wait_any(), BatchHandle::npos);
+}
+
+TEST(Batch, AggregateProgressCountsMixedOutcomes) {
+  EvolutionService service(2);
+  core::EvolutionConfig bad = base_config(1);
+  bad.ga.population_size = 7;  // GaEngine requires an even population
+  std::vector<BatchItem> items(3);
+  items[0].config = base_config(310);
+  items[1].config = base_config(311);
+  items[2].config = bad;
+  BatchHandle batch = service.submit_batch(items);
+  batch.wait_all();
+
+  const BatchProgress p = batch.progress();
+  EXPECT_EQ(p.total, 3u);
+  EXPECT_EQ(p.terminal, 3u);
+  EXPECT_EQ(p.succeeded, 2u);
+  EXPECT_EQ(p.failed, 1u);
+  EXPECT_GT(p.generations, 0u);
+
+  // results() throws like JobHandle::wait(); per-job handles still
+  // deliver the successes.
+  EXPECT_THROW((void)batch.results(), std::runtime_error);
+  JobHandle first = batch.jobs()[0];  // handles are shared-ownership views
+  EXPECT_TRUE(first.wait().reached_target);
+  EXPECT_EQ(batch.jobs()[2].state(), JobState::kFailed);
+}
+
+TEST(Batch, CancelMidFlightTerminalizesEveryJob) {
+  EvolutionService service(2);
+  JobOptions options;
+  options.use_cache = false;  // six independent executions, no coalescing
+  options.generation_budget = 5'000'000;
+  std::vector<BatchItem> items(6);
+  for (auto& item : items) {
+    item.config = stuck_config();
+    item.options = options;
+  }
+  BatchHandle batch = service.submit_batch(items);
+
+  // Let at least one member actually reach the engine loop.
+  while (batch.progress().generations == 0) std::this_thread::yield();
+  batch.cancel();
+  batch.wait_all();
+
+  const BatchProgress p = batch.progress();
+  EXPECT_EQ(p.total, 6u);
+  EXPECT_EQ(p.terminal, 6u);
+  EXPECT_EQ(p.cancelled, 6u);
+  for (const JobHandle& job : batch.jobs()) {
+    EXPECT_EQ(job.state(), JobState::kCancelled);
+  }
+}
+
+// ---- admission control --------------------------------------------------
+
+TEST(Admission, RejectPolicyThrowsTypedErrorAtCapacity) {
+  ServiceOptions opts;
+  opts.threads = 1;
+  opts.max_queue_depth = 2;
+  opts.admission = AdmissionPolicy::kReject;
+  EvolutionService service(opts);
+
+  JobOptions blocker_opts;
+  blocker_opts.use_cache = false;
+  blocker_opts.generation_budget = 100'000'000;
+  JobHandle blocker = service.submit(stuck_config(), blocker_opts);
+  while (blocker.state() == JobState::kQueued) std::this_thread::yield();
+
+  JobOptions queued_opts;
+  queued_opts.use_cache = false;
+  queued_opts.generation_budget = 50;
+  JobHandle q1 = service.submit(stuck_config(), queued_opts);
+  JobHandle q2 = service.submit(stuck_config(), queued_opts);
+  EXPECT_EQ(service.queue_depth(), 2u);
+
+  const std::uint64_t rejected0 =
+      counter_value("leo_serve_admission_rejected_total");
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_THROW((void)service.submit(stuck_config(), queued_opts),
+                 QueueFullError);
+    EXPECT_LE(service.queue_depth(), 2u);
+  }
+  EXPECT_EQ(counter_value("leo_serve_admission_rejected_total") - rejected0,
+            20u);
+
+  blocker.cancel();
+  (void)blocker.wait();
+  (void)q1.wait();
+  (void)q2.wait();
+  EXPECT_EQ(service.queue_depth(), 0u);
+}
+
+TEST(Admission, BlockPolicyBoundsTheQueueUnderTenXBurst) {
+  ServiceOptions opts;
+  opts.threads = 2;
+  opts.max_queue_depth = 4;
+  opts.admission = AdmissionPolicy::kBlock;
+  EvolutionService service(opts);
+
+  // Occupy both workers so the burst can only drain through admission.
+  JobOptions blocker_opts;
+  blocker_opts.use_cache = false;
+  blocker_opts.generation_budget = 100'000'000;
+  blocker_opts.priority = 10;
+  JobHandle blocker_a = service.submit(stuck_config(), blocker_opts);
+  JobHandle blocker_b = service.submit(stuck_config(), blocker_opts);
+  while (blocker_a.state() == JobState::kQueued ||
+         blocker_b.state() == JobState::kQueued) {
+    std::this_thread::yield();
+  }
+
+  // 10x the admission cap, from four submitter threads. Every submit
+  // either enqueues under the bound or blocks until a worker frees a slot.
+  constexpr std::size_t kSubmitters = 4;
+  constexpr std::size_t kPerThread = 10;
+  std::mutex handles_mutex;
+  std::vector<JobHandle> handles;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (std::size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&service, &handles_mutex, &handles] {
+      JobOptions options;
+      options.use_cache = false;
+      options.generation_budget = 40;
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        JobHandle handle = service.submit(stuck_config(), options);
+        const std::scoped_lock lock(handles_mutex);
+        handles.push_back(std::move(handle));
+      }
+    });
+  }
+
+  // The queue fills to the cap and the submitters block. Unblock the
+  // workers and watch the bound hold while the burst drains.
+  while (service.queue_depth() < opts.max_queue_depth) {
+    std::this_thread::yield();
+  }
+  const std::uint64_t blocked =
+      counter_value("leo_serve_admission_blocked_total");
+  EXPECT_GT(blocked, 0u);
+  blocker_a.cancel();
+  blocker_b.cancel();
+  std::size_t max_seen = 0;
+  while (true) {
+    max_seen = std::max(max_seen, service.queue_depth());
+    {
+      const std::scoped_lock lock(handles_mutex);
+      if (handles.size() == kSubmitters * kPerThread) break;
+    }
+    std::this_thread::yield();
+  }
+  for (auto& thread : submitters) thread.join();
+  EXPECT_LE(max_seen, opts.max_queue_depth);
+
+  ASSERT_EQ(handles.size(), kSubmitters * kPerThread);
+  for (JobHandle& handle : handles) {
+    (void)handle.wait();
+    EXPECT_EQ(handle.state(), JobState::kSuspended);  // hit its 40-gen budget
+  }
+  (void)blocker_a.wait();
+  (void)blocker_b.wait();
+  EXPECT_EQ(service.queue_depth(), 0u);
+}
+
+TEST(Admission, ShedPolicyEvictsLowestPriorityAndBoundsTheQueue) {
+  ServiceOptions opts;
+  opts.threads = 1;
+  opts.max_queue_depth = 2;
+  opts.admission = AdmissionPolicy::kShed;
+  EvolutionService service(opts);
+
+  JobOptions blocker_opts;
+  blocker_opts.use_cache = false;
+  blocker_opts.generation_budget = 100'000'000;
+  blocker_opts.priority = 99;
+  JobHandle blocker = service.submit(stuck_config(), blocker_opts);
+  while (blocker.state() == JobState::kQueued) std::this_thread::yield();
+
+  JobOptions lo, mid, hi;
+  lo.use_cache = mid.use_cache = hi.use_cache = false;
+  lo.generation_budget = mid.generation_budget = hi.generation_budget = 50;
+  lo.priority = 1;
+  mid.priority = 5;
+  hi.priority = 9;
+  JobHandle a = service.submit(stuck_config(), lo);
+  JobHandle b = service.submit(stuck_config(), mid);
+  EXPECT_EQ(service.queue_depth(), 2u);
+
+  // A higher-priority newcomer sheds the lowest-priority queued job.
+  JobHandle c = service.submit(stuck_config(), hi);
+  EXPECT_EQ(a.state(), JobState::kRejected);
+  EXPECT_NE(c.state(), JobState::kRejected);
+  EXPECT_EQ(service.queue_depth(), 2u);
+  EXPECT_THROW((void)a.wait(), std::runtime_error);
+  EXPECT_FALSE(a.error().empty());
+
+  // Ties shed the newcomer: queued-first wins at equal priority.
+  JobHandle d = service.submit(stuck_config(), mid);
+  EXPECT_EQ(d.state(), JobState::kRejected);
+  EXPECT_EQ(service.queue_depth(), 2u);
+
+  // A 10x-cap burst of low-priority work all sheds itself; the bound and
+  // the queued higher-priority jobs are untouched.
+  const std::uint64_t rejected0 =
+      counter_value("leo_serve_jobs_rejected_total");
+  for (int i = 0; i < 20; ++i) {
+    JobHandle shed = service.submit(stuck_config(), lo);
+    EXPECT_EQ(shed.state(), JobState::kRejected);
+    EXPECT_LE(service.queue_depth(), 2u);
+  }
+  EXPECT_EQ(counter_value("leo_serve_jobs_rejected_total") - rejected0, 20u);
+
+  blocker.cancel();
+  (void)blocker.wait();
+  (void)b.wait();
+  (void)c.wait();
+  EXPECT_EQ(b.state(), JobState::kSuspended);
+  EXPECT_EQ(c.state(), JobState::kSuspended);
+}
+
+// ---- live-job bookkeeping (the unbounded-growth regression) -------------
+
+/// live_jobs_ used to grow by one weak_ptr per submission for the life of
+/// the service. Push waves of short jobs through and assert the vector
+/// stays O(live): an uncompacted implementation would hold one entry per
+/// job ever submitted (kWaves * kWave = 1000 here).
+TEST(Service, LiveJobsBookkeepingStaysBoundedUnderSweepTraffic) {
+  EvolutionService service(2);
+  JobOptions options;
+  options.use_cache = false;
+  options.generation_budget = 20;
+
+  constexpr std::size_t kWaves = 5;
+  constexpr std::size_t kWave = 200;
+  for (std::size_t wave = 0; wave < kWaves; ++wave) {
+    std::vector<JobHandle> handles;
+    handles.reserve(kWave);
+    for (std::size_t i = 0; i < kWave; ++i) {
+      handles.push_back(service.submit(stuck_config(), options));
+    }
+    for (JobHandle& handle : handles) (void)handle.wait();
+  }
+
+  EXPECT_LT(service.live_jobs_size(), kWaves * kWave / 2)
+      << "terminal entries are accumulating instead of being compacted";
+  EXPECT_EQ(service.queue_depth(), 0u);
+}
+
+// ---- sharded LRU result cache ------------------------------------------
+
+core::EvolutionResult fake_result(std::uint64_t tag) {
+  core::EvolutionResult result;
+  result.best_genome = tag;
+  result.generations = tag;
+  return result;
+}
+
+TEST(CacheLRU, EvictsLeastRecentlyUsedFirst) {
+  ResultCache cache(2, 1);
+  EXPECT_EQ(cache.capacity(), 2u);
+  EXPECT_EQ(cache.shard_count(), 1u);
+
+  cache.insert(1, fake_result(1));
+  cache.insert(2, fake_result(2));
+  ASSERT_TRUE(cache.lookup(1).has_value());  // refresh: 1 is now most recent
+  cache.insert(3, fake_result(3));           // evicts 2, the LRU entry
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  ASSERT_TRUE(cache.lookup(1).has_value());
+  ASSERT_TRUE(cache.lookup(3).has_value());
+  EXPECT_EQ(cache.lookup(3)->best_genome, 3u);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.capacity, 2u);
+  EXPECT_EQ(stats.shards, 1u);
+}
+
+TEST(CacheLRU, OverwriteRefreshesInsteadOfEvicting) {
+  ResultCache cache(2, 1);
+  cache.insert(1, fake_result(1));
+  cache.insert(2, fake_result(2));
+  cache.insert(1, fake_result(1));  // overwrite: refresh, no eviction
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  cache.insert(3, fake_result(3));  // 2 is now least recently used
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(1).has_value());
+}
+
+TEST(CacheLRU, ShardedStatsStayConsistentUnderSweep) {
+  ResultCache cache(64, 8);
+  EXPECT_EQ(cache.shard_count(), 8u);
+  // Spread keys like real config hashes so all shards participate.
+  const auto key = [](std::uint64_t i) { return i * 0x9E3779B97F4A7C15ull; };
+
+  constexpr std::uint64_t kKeys = 200;
+  for (std::uint64_t i = 0; i < kKeys; ++i) cache.insert(key(i), fake_result(i));
+
+  CacheStats stats = cache.stats();
+  EXPECT_LE(stats.entries, 64u);
+  EXPECT_EQ(stats.entries + stats.evictions, kKeys)
+      << "every insert either grew the cache or evicted exactly one entry";
+  EXPECT_EQ(cache.size(), stats.entries);
+
+  std::uint64_t present = 0;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    if (cache.lookup(key(i)).has_value()) ++present;
+  }
+  stats = cache.stats();
+  EXPECT_EQ(present, stats.entries);
+  EXPECT_EQ(stats.hits, present);
+  EXPECT_EQ(stats.misses, kKeys - present);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(CacheLRU, ClearRacesLookupAndInsertWithoutCorruption) {
+  ResultCache cache(128, 4);
+  std::atomic<bool> stop{false};
+  constexpr std::uint64_t kInserts = 30'000;
+
+  std::thread writer([&cache, &stop] {
+    for (std::uint64_t i = 0; i < kInserts; ++i) {
+      cache.insert(i & 0x3FF, fake_result(i & 0x3FF));
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  std::thread reader([&cache, &stop] {
+    std::uint64_t key = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (const auto hit = cache.lookup(key & 0x3FF)) {
+        // Entries are copied out whole: the tag fields always agree.
+        EXPECT_EQ(hit->best_genome, hit->generations);
+      }
+      ++key;
+    }
+  });
+  std::thread clearer([&cache, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      cache.clear();
+      (void)cache.stats();
+      std::this_thread::yield();
+    }
+  });
+  writer.join();
+  reader.join();
+  clearer.join();
+
+  const CacheStats stats = cache.stats();
+  EXPECT_LE(stats.entries, cache.capacity());
+  EXPECT_EQ(cache.size(), stats.entries);
 }
 
 }  // namespace
