@@ -1,23 +1,29 @@
-// Event-driven vs dense RTL simulation on the full GAP.
+// Settle-kernel comparison on the full GAP: levelized one-pass vs
+// event-driven worklist vs dense sweep.
 //
 // The GAP's per-cycle activity is a handful of modules out of dozens (one
 // FSM advances, one RAM port moves), so the dense settle — evaluate every
 // module, rescan every net, every pass, every cycle — does mostly wasted
 // work. The event kernel schedules only the fanout of nets that actually
-// changed; this bench runs the same full evolution (identical seed, so
-// bit-identical trajectories) under both kernels and reports cycles/sec.
+// changed; the level kernel additionally drains that fanout in topological
+// rank order (at most one evaluate() per activated module per settle) and
+// runs sparse clock-edge and commit phases. This bench runs the same full
+// evolution (identical seed, so bit-identical trajectories) under all
+// three kernels and reports per-kernel cycles/sec and evaluations/cycle.
 //
 //   ./bench_rtl_sim [seeds]
 //   ./bench_rtl_sim --iters N     # N seeds
 //
 // Emits BENCH_rtl.json (shared runner; see bench_harness.hpp) with the
-// speedup and both throughputs as leo_bench_rtl_* gauges. The run aborts
-// (nonzero exit) if the two modes disagree on any evolved genome,
+// speedups and all throughputs as leo_bench_rtl_* gauges. The run aborts
+// (nonzero exit) if any two modes disagree on any evolved genome,
 // fitness, generation count, or cycle count — the bench doubles as an
 // end-to-end equivalence check.
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "bench_harness.hpp"
 #include "gap/gap_top.hpp"
@@ -37,9 +43,15 @@ struct RunResult {
   std::uint64_t best_genome = 0;
   unsigned best_fitness = 0;
   std::uint64_t evaluations = 0;
+  std::uint64_t edge_skips = 0;
   double seconds = 0.0;
   bool converged = false;
 };
+
+constexpr rtl::SimMode kModes[] = {rtl::SimMode::kLevel, rtl::SimMode::kEvent,
+                                   rtl::SimMode::kDense};
+constexpr const char* kModeNames[] = {"level", "event", "dense"};
+constexpr std::size_t kModeCount = 3;
 
 RunResult run_gap(std::uint64_t seed, rtl::SimMode mode) {
   gap::GapParams params;
@@ -56,6 +68,7 @@ RunResult run_gap(std::uint64_t seed, rtl::SimMode mode) {
   r.best_genome = top.best_genome();
   r.best_fitness = top.best_fitness();
   r.evaluations = sim.evaluations();
+  r.edge_skips = sim.edge_skips();
   return r;
 }
 
@@ -67,64 +80,91 @@ int bench_run(const Options& options) {
     seeds = std::strtoull(options.args[0].c_str(), nullptr, 0);
   }
 
-  std::printf("RTL settle kernels — event-driven vs dense sweep on the "
-              "GAP\n\n");
+  std::printf("RTL settle kernels — levelized vs event-driven vs dense "
+              "sweep on the GAP\n\n");
 
-  util::RunningStats event_cps;
-  util::RunningStats dense_cps;
-  util::RunningStats evals_ratio;
+  util::RunningStats cps[kModeCount];
+  util::RunningStats evals_per_cycle[kModeCount];
+  util::RunningStats edge_skips_per_cycle;
   for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-    const RunResult ev = run_gap(seed, rtl::SimMode::kEvent);
-    const RunResult de = run_gap(seed, rtl::SimMode::kDense);
-    if (!ev.converged || !de.converged) {
+    RunResult results[kModeCount];
+    bool all_converged = true;
+    for (std::size_t m = 0; m < kModeCount; ++m) {
+      results[m] = run_gap(seed, kModes[m]);
+      all_converged = all_converged && results[m].converged;
+    }
+    if (!all_converged) {
       std::printf("seed %llu did not converge\n",
                   static_cast<unsigned long long>(seed));
       continue;
     }
-    if (ev.cycles != de.cycles || ev.generations != de.generations ||
-        ev.best_genome != de.best_genome ||
-        ev.best_fitness != de.best_fitness) {
-      std::printf("MODE DIVERGENCE at seed %llu: "
-                  "event {cycles %llu gen %llu genome %09llx fit %u} vs "
-                  "dense {cycles %llu gen %llu genome %09llx fit %u}\n",
-                  static_cast<unsigned long long>(seed),
-                  static_cast<unsigned long long>(ev.cycles),
-                  static_cast<unsigned long long>(ev.generations),
-                  static_cast<unsigned long long>(ev.best_genome),
-                  ev.best_fitness,
-                  static_cast<unsigned long long>(de.cycles),
-                  static_cast<unsigned long long>(de.generations),
-                  static_cast<unsigned long long>(de.best_genome),
-                  de.best_fitness);
-      return 1;
+    for (std::size_t m = 1; m < kModeCount; ++m) {
+      const RunResult& a = results[0];
+      const RunResult& b = results[m];
+      if (a.cycles != b.cycles || a.generations != b.generations ||
+          a.best_genome != b.best_genome ||
+          a.best_fitness != b.best_fitness) {
+        std::printf("MODE DIVERGENCE at seed %llu: "
+                    "%s {cycles %llu gen %llu genome %09llx fit %u} vs "
+                    "%s {cycles %llu gen %llu genome %09llx fit %u}\n",
+                    static_cast<unsigned long long>(seed), kModeNames[0],
+                    static_cast<unsigned long long>(a.cycles),
+                    static_cast<unsigned long long>(a.generations),
+                    static_cast<unsigned long long>(a.best_genome),
+                    a.best_fitness, kModeNames[m],
+                    static_cast<unsigned long long>(b.cycles),
+                    static_cast<unsigned long long>(b.generations),
+                    static_cast<unsigned long long>(b.best_genome),
+                    b.best_fitness);
+        return 1;
+      }
     }
-    event_cps.add(static_cast<double>(ev.cycles) / ev.seconds);
-    dense_cps.add(static_cast<double>(de.cycles) / de.seconds);
-    evals_ratio.add(static_cast<double>(de.evaluations) /
-                    static_cast<double>(ev.evaluations));
+    for (std::size_t m = 0; m < kModeCount; ++m) {
+      const double cycles = static_cast<double>(results[m].cycles);
+      cps[m].add(cycles / results[m].seconds);
+      evals_per_cycle[m].add(static_cast<double>(results[m].evaluations) /
+                             cycles);
+    }
+    edge_skips_per_cycle.add(static_cast<double>(results[0].edge_skips) /
+                             static_cast<double>(results[0].cycles));
   }
-  if (event_cps.count() == 0) {
+  if (cps[0].count() == 0) {
     std::printf("no seed converged; nothing to report\n");
     return 1;
   }
 
-  const double speedup = event_cps.mean() / dense_cps.mean();
-  std::printf("identical results on %llu seed(s); throughput:\n",
-              static_cast<unsigned long long>(event_cps.count()));
-  std::printf("  event-driven: %10.0f cycles/sec (sd %.0f)\n",
-              event_cps.mean(), event_cps.stddev());
-  std::printf("  dense sweep : %10.0f cycles/sec (sd %.0f)\n",
-              dense_cps.mean(), dense_cps.stddev());
-  std::printf("  speedup     : %.2fx wall clock, %.1fx fewer evaluate() "
-              "calls\n", speedup, evals_ratio.mean());
+  std::printf("identical results on %llu seed(s); per-kernel throughput:\n",
+              static_cast<unsigned long long>(cps[0].count()));
+  for (std::size_t m = 0; m < kModeCount; ++m) {
+    std::printf("  %-6s: %10.0f cycles/sec (sd %.0f), %5.2f evaluate()/cycle\n",
+                kModeNames[m], cps[m].mean(), cps[m].stddev(),
+                evals_per_cycle[m].mean());
+  }
+  const double level_vs_event = cps[0].mean() / cps[1].mean();
+  const double level_vs_dense = cps[0].mean() / cps[2].mean();
+  const double event_vs_dense = cps[1].mean() / cps[2].mean();
+  std::printf("  level vs event: %.2fx   level vs dense: %.2fx   "
+              "event vs dense: %.2fx\n",
+              level_vs_event, level_vs_dense, event_vs_dense);
+  std::printf("  level skips %.2f clock_edge() calls per cycle\n",
+              edge_skips_per_cycle.mean());
 
   auto& reg = obs::registry();
-  reg.gauge("leo_bench_rtl_seeds")
-      .set(static_cast<double>(event_cps.count()));
-  reg.gauge("leo_bench_rtl_speedup").set(speedup);
-  reg.gauge("leo_bench_rtl_event_cycles_per_sec").set(event_cps.mean());
-  reg.gauge("leo_bench_rtl_dense_cycles_per_sec").set(dense_cps.mean());
-  reg.gauge("leo_bench_rtl_evaluations_ratio").set(evals_ratio.mean());
+  reg.gauge("leo_bench_rtl_seeds").set(static_cast<double>(cps[0].count()));
+  for (std::size_t m = 0; m < kModeCount; ++m) {
+    const std::string prefix = std::string("leo_bench_rtl_") + kModeNames[m];
+    reg.gauge(prefix + "_cycles_per_sec").set(cps[m].mean());
+    reg.gauge(prefix + "_evals_per_cycle").set(evals_per_cycle[m].mean());
+  }
+  reg.gauge("leo_bench_rtl_level_speedup_vs_event").set(level_vs_event);
+  reg.gauge("leo_bench_rtl_level_speedup_vs_dense").set(level_vs_dense);
+  // Historical gauge names (pre-level); kept so trend dashboards and the
+  // committed baselines stay comparable across the kernel generations.
+  reg.gauge("leo_bench_rtl_speedup").set(event_vs_dense);
+  reg.gauge("leo_bench_rtl_evaluations_ratio")
+      .set(evals_per_cycle[2].mean() / evals_per_cycle[1].mean());
+  reg.gauge("leo_bench_rtl_edge_skips_per_cycle")
+      .set(edge_skips_per_cycle.mean());
   return 0;
 }
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Schema check for the BENCH_*.json files the shared bench runner emits.
+"""Schema and regression-floor check for the BENCH_*.json bench reports.
 
-Usage: check_bench_json.py FILE [FILE...]
+Usage: check_bench_json.py [--floor DIR] [--floor-tolerance PCT] FILE...
 
 Validates, per file:
   * top-level object with string "bench", int "schema" == 1, int "iters",
@@ -14,9 +14,19 @@ Validates, per file:
   * benches with a known headline contract (REQUIRED_GAUGES) recorded
     every gauge that contract promises.
 
-Exit code 0 iff every file passes. No dependencies beyond the stdlib.
+With --floor DIR, each file is additionally compared against the committed
+baseline DIR/<basename> (e.g. bench/baselines/BENCH_rtl.json): every
+higher-is-better gauge in FLOOR_GAUGES must reach the baseline value minus
+the tolerance (default 20%, to absorb shared-runner noise). Floor misses
+are WARNINGS — they print prominently but never change the exit code,
+because absolute throughput on anonymous CI hardware is not a commitment.
+Schema failures always fail.
+
+Exit code 0 iff every file passes the schema check. No dependencies
+beyond the stdlib.
 """
 import json
+import os
 import sys
 
 # Headline gauges a bench's JSON must contain, keyed by its "bench" id.
@@ -24,13 +34,34 @@ import sys
 REQUIRED_GAUGES = {
     "rtl": (
         "leo_bench_rtl_speedup",
+        "leo_bench_rtl_level_cycles_per_sec",
         "leo_bench_rtl_event_cycles_per_sec",
         "leo_bench_rtl_dense_cycles_per_sec",
+        "leo_bench_rtl_level_evals_per_cycle",
+        "leo_bench_rtl_event_evals_per_cycle",
+        "leo_bench_rtl_dense_evals_per_cycle",
+        "leo_bench_rtl_level_speedup_vs_event",
+        "leo_bench_rtl_level_speedup_vs_dense",
     ),
     "serve": (
         "leo_bench_serve_jobs_per_sec",
         "leo_bench_serve_coalesced_hit_ratio",
     ),
+}
+
+# Higher-is-better gauges compared against the committed baseline in
+# --floor mode. Only wall-clock throughputs and deterministic speedup
+# ratios belong here; deterministic count metrics (generations, cycles)
+# are exact-equality material for the equivalence tests, not floors.
+FLOOR_GAUGES = {
+    "rtl": (
+        "leo_bench_rtl_level_cycles_per_sec",
+        "leo_bench_rtl_event_cycles_per_sec",
+        "leo_bench_rtl_dense_cycles_per_sec",
+        "leo_bench_rtl_level_speedup_vs_dense",
+    ),
+    "serve": ("leo_bench_serve_jobs_per_sec",),
+    "pipeline": ("leo_bench_pipeline_speedup",),
 }
 
 
@@ -62,7 +93,35 @@ def check_histogram(path, name, hist):
     return True
 
 
-def check_file(path):
+def check_floor(path, bench, gauges, floor_dir, tolerance_pct):
+    """Warn-only comparison against the committed baseline report."""
+    baseline_path = os.path.join(floor_dir, os.path.basename(path))
+    if not os.path.exists(baseline_path):
+        print(f"{path}: floor: no baseline at {baseline_path}, skipping")
+        return
+    try:
+        with open(baseline_path, encoding="utf-8") as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: floor: unreadable baseline {baseline_path}: {e}")
+        return
+    base_gauges = baseline.get("metrics", {}).get("gauges", {})
+    scale = 1.0 - tolerance_pct / 100.0
+    for name in FLOOR_GAUGES.get(bench, ()):
+        if name not in base_gauges:
+            continue
+        floor = base_gauges[name] * scale
+        current = gauges.get(name)
+        if current is None or current < floor:
+            print(f"{path}: FLOOR WARN: {name} = {current} below "
+                  f"{floor:.6g} (baseline {base_gauges[name]:.6g} "
+                  f"- {tolerance_pct:.0f}%)")
+        else:
+            print(f"{path}: floor ok: {name} = {current:.6g} "
+                  f">= {floor:.6g}")
+
+
+def check_file(path, floor_dir=None, tolerance_pct=20.0):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -101,14 +160,38 @@ def check_file(path):
 
     print(f"{path}: ok ({len(counters)} counters, {len(gauges)} gauges, "
           f"{len(histograms)} histograms)")
+    if floor_dir is not None:
+        check_floor(path, doc["bench"], gauges, floor_dir, tolerance_pct)
     return True
 
 
 def main(argv):
-    if len(argv) < 2:
+    floor_dir = None
+    tolerance_pct = 20.0
+    paths = []
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--floor":
+            i += 1
+            if i >= len(argv):
+                print("--floor requires a directory argument")
+                return 2
+            floor_dir = argv[i]
+        elif arg == "--floor-tolerance":
+            i += 1
+            if i >= len(argv):
+                print("--floor-tolerance requires a percentage argument")
+                return 2
+            tolerance_pct = float(argv[i])
+        else:
+            paths.append(arg)
+        i += 1
+    if not paths:
         print(__doc__.strip())
         return 2
-    return 0 if all([check_file(p) for p in argv[1:]]) else 1
+    return 0 if all([check_file(p, floor_dir, tolerance_pct)
+                     for p in paths]) else 1
 
 
 if __name__ == "__main__":

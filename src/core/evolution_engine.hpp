@@ -36,7 +36,7 @@ struct EvolutionConfig {
   bool track_history = false;   ///< software backend only
   /// Hardware backend: settle kernel for the RTL simulation. Results are
   /// bit-identical across modes (only wall-clock speed differs).
-  rtl::SimMode sim_mode = rtl::SimMode::kEvent;
+  rtl::SimMode sim_mode = rtl::SimMode::kLevel;
 };
 
 struct EvolutionResult {

@@ -82,6 +82,13 @@ bool WalkingController::propulsion_target(std::size_t leg) const {
   return decode_propulsion(leg);
 }
 
+rtl::Drives WalkingController::drives() const {
+  rtl::Drives d = rtl::Drives::none();
+  d.nets.push_back(&phase);
+  for (const auto& p : pwm_) d.nets.push_back(&p->position);
+  return d;
+}
+
 void WalkingController::evaluate() {
   phase.write(phase_.read());
   for (std::size_t leg = 0; leg < kNumLegs; ++leg) {

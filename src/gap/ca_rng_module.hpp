@@ -35,6 +35,13 @@ class CaRngModule final : public rtl::Module {
     return {&cells_};
   }
 
+  [[nodiscard]] rtl::Drives drives() const override { return {&word}; }
+
+  /// Free-runs by design (paper §3.2): the CA steps every clock.
+  [[nodiscard]] rtl::EdgeSpec edge_sensitivity() const override {
+    return rtl::EdgeSpec::always();
+  }
+
   /// 16 FFs plus one LUT4 (XOR3 max) per cell.
   [[nodiscard]] rtl::ResourceTally own_resources() const override;
 

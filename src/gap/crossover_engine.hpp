@@ -54,6 +54,33 @@ class CrossoverEngine final : public rtl::Module {
             &cut_,          &out_index_, &fifo_->empty};
   }
 
+  [[nodiscard]] rtl::Drives drives() const override {
+    return {&busy, &done, &fifo_->pop, &basis_addr,
+            &inter_addr, &inter_we, &inter_wdata};
+  }
+
+  /// Quiescent in kIdle with no start and no pair to pop, in kDone with
+  /// start low, or gated off. Working states advance state_ every cycle,
+  /// re-arming the flag; out_pair only matters at a pop edge, which
+  /// pop/empty movement wakes.
+  [[nodiscard]] rtl::EdgeSpec edge_sensitivity() const override {
+    return rtl::EdgeSpec::when_changed(
+        {&state_, &start, &enable, &fifo_->pop, &fifo_->empty});
+  }
+
+  /// Busy as a pure function of the state register — lets the control FSM
+  /// read engine activity without a combinational busy-wire path back into
+  /// its own enable outputs (which would cycle the module graph).
+  [[nodiscard]] bool busy_now() const noexcept {
+    const auto s = static_cast<State>(state_.read());
+    return s != State::kIdle && s != State::kDone;
+  }
+
+  /// The state register behind busy_now(), for sensitivity lists.
+  [[nodiscard]] const rtl::NetBase* state_net() const noexcept {
+    return &state_;
+  }
+
   /// Splice of `hi_from_b ? (a below cut | b at/above cut)`: the
   /// hardware's barrel of 2:1 muxes, one per genome bit.
   [[nodiscard]] std::uint64_t splice(std::uint64_t head, std::uint64_t tail,

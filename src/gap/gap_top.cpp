@@ -49,7 +49,8 @@ GapTop::GapTop(rtl::Module* parent, std::string name, GapParams params,
       best_fitness_(this, "best_fitness", 8),
       eval_cycles_(this, "eval_cycles", 48),
       selxover_cycles_(this, "selxover_cycles", 48),
-      mutate_cycles_(this, "mutate_cycles", 48) {
+      mutate_cycles_(this, "mutate_cycles", 48),
+      port_mux_(this) {
   if (params_.population_size < 4 || params_.population_size % 2 != 0) {
     throw std::invalid_argument("GapTop: population must be even, >= 4");
   }
@@ -79,16 +80,13 @@ unsigned GapTop::fold_mod(unsigned value, unsigned mod) const noexcept {
 }
 
 void GapTop::evaluate() {
+  // Control half only — the RAM port wires belong to port_mux_.
   const auto phase = static_cast<Phase>(phase_.read());
   busy.write(phase != Phase::kDone);
   done.write(phase == Phase::kDone);
   best_genome_bus.write(best_genome_.read());
   best_fitness_bus.write(best_fitness_.read());
-
-  drive_ram_defaults();
-  rtl::SyncRam& basis_ram = basis();
-  rtl::SyncRam& inter_ram = intermediate();
-  basis_rdata_mux_.write(basis_ram.rdata.read());
+  basis_rdata_mux_.write(basis().rdata.read());
 
   // Engine control defaults; overridden in the SEL+XOVER phase.
   selection_.start.write(false);
@@ -97,30 +95,15 @@ void GapTop::evaluate() {
   crossover_.enable.write(false);
   fitness_unit_.genome.write(0);
 
-  const std::uint64_t genome_mask =
-      (std::uint64_t{1} << params_.genome_bits) - 1;
-
   switch (phase) {
-    case Phase::kInit:
-      basis_ram.addr.write(idx_.read());
-      if (sub_.read() == 3) {
-        basis_ram.we.write(true);
-        basis_ram.wdata.write(init_acc_.read() & genome_mask);
-      }
-      break;
-
     case Phase::kEval:
-      basis_ram.addr.write(idx_.read());
       if (sub_.read() == 1) {
-        // basis rdata now holds individual idx; score it and store.
-        fitness_unit_.genome.write(basis_ram.rdata.read());
-        fitness_ram_.addr.write(idx_.read());
-        fitness_ram_.we.write(true);
-        fitness_ram_.wdata.write(fitness_unit_.score.read());
+        // basis rdata now holds individual idx; feed it to the scorer.
+        fitness_unit_.genome.write(basis().rdata.read());
       }
       break;
 
-    case Phase::kSelXover: {
+    case Phase::kSelXover:
       selection_.start.write(start_pulse_.read());
       crossover_.start.write(start_pulse_.read());
       if (params_.pipelined) {
@@ -129,27 +112,96 @@ void GapTop::evaluate() {
       } else {
         // Strict alternation: selection may only work while the crossover
         // engine is idle and nothing is queued; crossover drains first.
+        // Activity is read from the crossover state register (busy_now),
+        // not its busy wire — identical value, no combinational cycle.
         const bool xover_active =
-            crossover_.busy.read() || !fifo_.empty.read();
+            crossover_.busy_now() || !fifo_.empty.read();
         selection_.enable.write(!xover_active);
         crossover_.enable.write(true);
       }
-      fitness_ram_.addr.write(selection_.fitness_addr.read());
-      basis_ram.addr.write(crossover_.basis_addr.read());
-      inter_ram.addr.write(crossover_.inter_addr.read());
-      inter_ram.we.write(crossover_.inter_we.read());
-      inter_ram.wdata.write(crossover_.inter_wdata.read());
       break;
-    }
+
+    case Phase::kInit:
+    case Phase::kMutate:
+    case Phase::kSwap:
+    case Phase::kDone:
+      break;
+  }
+}
+
+GapTop::PortMux::PortMux(GapTop* top)
+    : rtl::Module(top, "port_mux"), top_(top) {}
+
+rtl::Sensitivity GapTop::PortMux::inputs() const {
+  return {&top_->phase_,
+          &top_->bank_,
+          &top_->idx_,
+          &top_->sub_,
+          &top_->init_acc_,
+          &top_->mut_addr_,
+          &top_->mut_bit_,
+          &top_->ram_a_.rdata,
+          &top_->ram_b_.rdata,
+          &top_->fitness_unit_.score,
+          &top_->selection_.fitness_addr,
+          &top_->crossover_.basis_addr,
+          &top_->crossover_.inter_addr,
+          &top_->crossover_.inter_we,
+          &top_->crossover_.inter_wdata};
+}
+
+rtl::Drives GapTop::PortMux::drives() const {
+  return {&top_->ram_a_.addr,        &top_->ram_a_.we,
+          &top_->ram_a_.wdata,       &top_->ram_b_.addr,
+          &top_->ram_b_.we,          &top_->ram_b_.wdata,
+          &top_->fitness_ram_.addr,  &top_->fitness_ram_.we,
+          &top_->fitness_ram_.wdata};
+}
+
+void GapTop::PortMux::evaluate() {
+  GapTop& g = *top_;
+  g.drive_ram_defaults();
+  rtl::SyncRam& basis_ram = g.basis();
+  rtl::SyncRam& inter_ram = g.intermediate();
+
+  const std::uint64_t genome_mask =
+      (std::uint64_t{1} << g.params_.genome_bits) - 1;
+
+  switch (static_cast<Phase>(g.phase_.read())) {
+    case Phase::kInit:
+      basis_ram.addr.write(g.idx_.read());
+      if (g.sub_.read() == 3) {
+        basis_ram.we.write(true);
+        basis_ram.wdata.write(g.init_acc_.read() & genome_mask);
+      }
+      break;
+
+    case Phase::kEval:
+      basis_ram.addr.write(g.idx_.read());
+      if (g.sub_.read() == 1) {
+        // Store the score the fitness unit computed from this rdata.
+        g.fitness_ram_.addr.write(g.idx_.read());
+        g.fitness_ram_.we.write(true);
+        g.fitness_ram_.wdata.write(g.fitness_unit_.score.read());
+      }
+      break;
+
+    case Phase::kSelXover:
+      g.fitness_ram_.addr.write(g.selection_.fitness_addr.read());
+      basis_ram.addr.write(g.crossover_.basis_addr.read());
+      inter_ram.addr.write(g.crossover_.inter_addr.read());
+      inter_ram.we.write(g.crossover_.inter_we.read());
+      inter_ram.wdata.write(g.crossover_.inter_wdata.read());
+      break;
 
     case Phase::kMutate:
-      if (sub_.read() == 1) {
-        inter_ram.addr.write(mut_addr_.read());
-      } else if (sub_.read() == 2) {
-        inter_ram.addr.write(mut_addr_.read());
+      if (g.sub_.read() == 1) {
+        inter_ram.addr.write(g.mut_addr_.read());
+      } else if (g.sub_.read() == 2) {
+        inter_ram.addr.write(g.mut_addr_.read());
         inter_ram.we.write(true);
         inter_ram.wdata.write(inter_ram.rdata.read() ^
-                              (std::uint64_t{1} << mut_bit_.read()));
+                              (std::uint64_t{1} << g.mut_bit_.read()));
       }
       break;
 

@@ -55,29 +55,52 @@ class GapTop final : public rtl::Module {
   void evaluate() override;
   void clock_edge() override;
 
+  /// The control half of the GAP's combinational logic: status buses, the
+  /// basis-bank read mux, engine start/enable gating and the fitness
+  /// unit's genome feed. The RAM port muxing lives in the PortMux child
+  /// (see below), so nothing here reads an engine request wire — the
+  /// module graph stays acyclic and the level kernel can rank it.
   /// Both banks' rdata are declared (the bank bit muxes between them);
-  /// rng_.word and basis_rdata_mux_ are read only in clock_edge().
+  /// rng_.word and basis_rdata_mux_ are read only in clock_edge(), and
+  /// sequential-mode gating reads the crossover *state register* (via
+  /// busy_now()) rather than its busy wire for the same acyclicity reason
+  /// — bit-identical, busy is a pure function of that register.
   [[nodiscard]] rtl::Sensitivity inputs() const override {
     return {&phase_,
             &bank_,
             &idx_,
             &sub_,
-            &init_acc_,
             &start_pulse_,
-            &mut_addr_,
-            &mut_bit_,
             &best_genome_,
             &best_fitness_,
             &ram_a_.rdata,
             &ram_b_.rdata,
-            &fitness_unit_.score,
-            &selection_.fitness_addr,
-            &crossover_.basis_addr,
-            &crossover_.inter_addr,
-            &crossover_.inter_we,
-            &crossover_.inter_wdata,
-            &crossover_.busy,
+            crossover_.state_net(),
             &fifo_.empty};
+  }
+
+  [[nodiscard]] rtl::Drives drives() const override {
+    return {&busy,
+            &done,
+            &best_genome_bus,
+            &best_fitness_bus,
+            &basis_rdata_mux_,
+            &selection_.start,
+            &selection_.enable,
+            &crossover_.start,
+            &crossover_.enable,
+            &fitness_unit_.genome};
+  }
+
+  /// Some declared register changes every cycle of every live phase
+  /// (sub_ cycles in kInit/kEval/kMutate, selxover_cycles_ counts in
+  /// kSelXover, phase_ moves through kSwap), so the edge re-arms itself
+  /// until kDone — where its body is a no-op (start_pulse_ is already
+  /// low) and skipping is what makes a finished GAP cheap to keep in a
+  /// larger design.
+  [[nodiscard]] rtl::EdgeSpec edge_sensitivity() const override {
+    return rtl::EdgeSpec::when_changed(
+        {&phase_, &sub_, &start_pulse_, &selxover_cycles_});
   }
 
   // --- observability for experiments and tests ---
@@ -120,6 +143,29 @@ class GapTop final : public rtl::Module {
   [[nodiscard]] rtl::ResourceTally own_resources() const override;
 
  private:
+  /// The RAM port-mux half of the GAP's combinational logic: the one
+  /// driver of all nine RAM port wires, fed by the control registers and
+  /// the engines' request wires. Split out of GapTop::evaluate() so the
+  /// combinational module graph is acyclic — GapTop's control outputs
+  /// (engine enables, fitness genome) feed the engines and the fitness
+  /// unit, whose request/score wires feed back into the RAM ports; with
+  /// one module doing both, that loop was a self-edge no levelized
+  /// schedule could rank. Owns no nets, so it costs nothing in the
+  /// resource tally and adds only an empty scope to VCD dumps.
+  class PortMux final : public rtl::Module {
+   public:
+    explicit PortMux(GapTop* top);
+    void evaluate() override;
+    [[nodiscard]] rtl::Sensitivity inputs() const override;
+    [[nodiscard]] rtl::Drives drives() const override;
+    [[nodiscard]] rtl::EdgeSpec edge_sensitivity() const override {
+      return rtl::EdgeSpec::never();
+    }
+
+   private:
+    GapTop* top_;
+  };
+
   [[nodiscard]] rtl::SyncRam& basis() noexcept {
     return bank_.read() ? ram_b_ : ram_a_;
   }
@@ -162,6 +208,9 @@ class GapTop final : public rtl::Module {
   rtl::Reg<std::uint64_t> eval_cycles_;
   rtl::Reg<std::uint64_t> selxover_cycles_;
   rtl::Reg<std::uint64_t> mutate_cycles_;
+
+  // Constructed last: it reads the registers and engine wires above.
+  PortMux port_mux_;
 };
 
 }  // namespace leo::gap

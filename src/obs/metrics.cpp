@@ -51,6 +51,16 @@ void Histogram::observe(double x) noexcept {
   sum_.fetch_add(x, std::memory_order_relaxed);
 }
 
+void Histogram::observe_n(double x, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto index =
+      static_cast<std::size_t>(std::distance(bounds_.begin(), it));
+  counts_[index].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(x * static_cast<double>(n), std::memory_order_relaxed);
+}
+
 HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot snap;
   snap.bounds = bounds_;

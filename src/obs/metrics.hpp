@@ -95,6 +95,10 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
 
   void observe(double x) noexcept;
+  /// Records `n` identical samples of `x` with one bucket search and one
+  /// set of atomic adds — for callers that tally locally in a hot loop and
+  /// flush per batch. Equivalent to calling observe(x) n times.
+  void observe_n(double x, std::uint64_t n) noexcept;
   [[nodiscard]] HistogramSnapshot snapshot() const;
   [[nodiscard]] const std::vector<double>& bounds() const noexcept {
     return bounds_;

@@ -15,6 +15,11 @@
 //                  event-driven simulator re-run evaluate() only when one
 //                  of them changed; undeclared modules fall back to the
 //                  conservative "sensitive to everything" schedule.
+//   drives()     — output list: the wires evaluate() writes (own or
+//                  foreign). With every module's drives() declared the
+//                  levelized kernel can rank the combinational dependency
+//                  graph at elaboration; see Drives.
+//   edge_sensitivity() — when clock_edge() may be skipped; see EdgeSpec.
 //
 // Modules also self-report FPGA resource usage (see ResourceTally): the
 // counts are per-module formulas documented at each override, and feed the
@@ -79,6 +84,77 @@ struct Sensitivity {
   std::vector<const NetBase*> nets;
 };
 
+/// Result of Module::drives(): the set of wires evaluate() writes — the
+/// dual of the Sensitivity contract. Ownership is *not* the driver
+/// relation in this codebase (control modules legally write wires owned
+/// by their children, e.g. RAM port requests), so the levelized kernel
+/// needs the drive sets declared explicitly:
+///
+///   * default-constructed (`declared == false`) — not ported; the
+///     levelized kernel cannot rank the design and falls back to the
+///     round-based event kernel;
+///   * `Drives{&a, &b, ...}` — evaluate() writes exactly these wires
+///     (a superset is safe, a missing wire is a correctness bug the
+///     mode-equivalence tests catch);
+///   * `Drives::none()` — evaluate() writes no wires (pure sequential
+///     modules, observers).
+///
+/// Registers never appear here: they change only at commit, so they never
+/// form combinational edges.
+struct Drives {
+  Drives() = default;
+  Drives(std::initializer_list<const NetBase*> ns)
+      : declared(true), nets(ns) {}
+
+  /// Declared-empty: evaluate() writes nothing (or is absent).
+  [[nodiscard]] static Drives none() {
+    Drives d;
+    d.declared = true;
+    return d;
+  }
+
+  bool declared = false;
+  std::vector<const NetBase*> nets;
+};
+
+/// When a module's clock_edge() must run (Module::edge_sensitivity()).
+enum class EdgeSensitivity : std::uint8_t {
+  /// Run every cycle (free-running counters, RAMs, undeclared modules).
+  kAlways,
+  /// Run only when one of the declared nets changed since the module's
+  /// last *executed* clock_edge (the simulator seeds every module pending
+  /// at reset). Sound iff clock_edge() is a no-op — no register ends the
+  /// cycle with a new value, no side effects — whenever none of the
+  /// declared nets changed since it last ran.
+  kWhenInputsChanged,
+  /// The module has no clock_edge (pure combinational logic).
+  kNever,
+};
+
+/// Result of Module::edge_sensitivity(): lets the levelized kernel skip
+/// clock_edge() calls on quiescent modules. The default (kAlways) is
+/// always correct.
+struct EdgeSpec {
+  EdgeSpec() = default;
+
+  [[nodiscard]] static EdgeSpec always() { return {}; }
+  [[nodiscard]] static EdgeSpec never() {
+    EdgeSpec e;
+    e.kind = EdgeSensitivity::kNever;
+    return e;
+  }
+  [[nodiscard]] static EdgeSpec when_changed(
+      std::initializer_list<const NetBase*> ns) {
+    EdgeSpec e;
+    e.kind = EdgeSensitivity::kWhenInputsChanged;
+    e.nets = ns;
+    return e;
+  }
+
+  EdgeSensitivity kind = EdgeSensitivity::kAlways;
+  std::vector<const NetBase*> nets;  // kWhenInputsChanged wake-up set
+};
+
 class Module {
  public:
   /// Child constructor: attaches to `parent`. Pass nullptr for a top.
@@ -109,6 +185,13 @@ class Module {
   /// simulator elaboration; the returned nets must outlive the module
   /// (they are members of this design's module tree).
   [[nodiscard]] virtual Sensitivity inputs() const { return {}; }
+
+  /// Output list of evaluate() (see Drives). Called once, at elaboration.
+  [[nodiscard]] virtual Drives drives() const { return {}; }
+
+  /// clock_edge() schedule contract (see EdgeSpec). Called once, at
+  /// elaboration; only the levelized kernel consumes it.
+  [[nodiscard]] virtual EdgeSpec edge_sensitivity() const { return {}; }
 
   /// Resources used by this module alone (excluding children). The default
   /// counts one FF per declared register bit; combinational overrides add

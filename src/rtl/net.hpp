@@ -13,16 +13,23 @@
 //              simultaneously afterwards.
 //
 // Value changes are the simulator's event source: besides raising the
-// dirty flag, mark_dirty() notifies the attached NetEventListener (the
-// event-driven Simulator), which schedules exactly the modules whose
-// declared sensitivity list contains this net. With no listener attached
-// (dense mode, or a design not bound to a simulator) a change is just a
-// flag write, as before.
+// dirty flag, mark_dirty() writes through the attached NetEventHub (raw
+// views into the event-driven / levelized Simulator's per-net arrays) —
+// refreshing a plain u64 mirror of the net and appending the net's index
+// to a deduplicated touched list. Everything is inline stores: no virtual
+// call per event, and confirm loops never call the virtual value_u64().
+// With no hub attached (dense mode, or a design not bound to a simulator)
+// a change is just a flag write, as before.
+//
+// Reg::set_next() additionally writes through a RegCommitHub so the
+// levelized kernel commits only the registers a clock edge actually
+// touched instead of sweeping every register every cycle.
 //
 // T is an unsigned integral type; `width` (in bits) is declared explicitly
 // for value masking and VCD dumping.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -31,16 +38,27 @@ namespace leo::rtl {
 
 class Module;
 
-/// Installed by the event-driven Simulator on every net of its design so
-/// value changes become scheduling events. Internal wiring between the
-/// net layer and the simulation kernel — user modules never implement it.
-class NetEventListener {
- public:
-  /// `net_index` is the index the listener assigned at attach time.
-  virtual void on_net_event(std::uint32_t net_index) noexcept = 0;
+/// Raw views into the owning Simulator's per-net arrays, shared by every
+/// net of one design. mark_dirty() writes through these — two or three
+/// inline stores — instead of making a virtual call per value change.
+/// The Simulator owns the hub and the arrays it points into; all are
+/// pre-sized at elaboration and never reallocate while nets are attached,
+/// and `touched` dedupes so `list` (capacity = net count) cannot overflow.
+/// Internal wiring between the net layer and the simulation kernel — user
+/// modules never touch it.
+struct NetEventHub {
+  std::uint64_t* mirror = nullptr;  ///< per-net last written (masked) value
+  std::uint8_t* touched = nullptr;  ///< per-net "already recorded" flag
+  std::uint32_t* list = nullptr;    ///< dense list of touched net indices
+  std::size_t count = 0;            ///< live entries in `list`
+};
 
- protected:
-  ~NetEventListener() = default;
+/// Same idea for Reg::set_next(): feeds the levelized kernel's
+/// pending-commit list so the commit phase walks only touched registers.
+struct RegCommitHub {
+  std::uint8_t* pending = nullptr;  ///< per-reg "already listed" flag
+  std::uint32_t* list = nullptr;    ///< dense list of pending reg indices
+  std::size_t count = 0;            ///< live entries in `list`
 };
 
 /// Non-template base so the simulator and the VCD writer can track nets
@@ -66,22 +84,28 @@ class NetBase {
   void clear_dirty() noexcept { dirty_ = false; }
 
  protected:
-  void mark_dirty() noexcept {
+  void mark_dirty(std::uint64_t value) noexcept {
     dirty_ = true;
-    if (listener_ != nullptr) listener_->on_net_event(listener_index_);
+    if (hub_ != nullptr) {
+      hub_->mirror[hub_index_] = value;
+      if (hub_->touched[hub_index_] == 0) {
+        hub_->touched[hub_index_] = 1;
+        hub_->list[hub_->count++] = hub_index_;
+      }
+    }
   }
   [[nodiscard]] std::uint64_t mask() const noexcept { return mask_; }
 
  private:
-  friend class Simulator;  // attaches/detaches the event listener
+  friend class Simulator;  // attaches/detaches the event hub
 
   Module* owner_;
   std::string name_;
   unsigned width_;
   std::uint64_t mask_;
   bool dirty_ = false;
-  NetEventListener* listener_ = nullptr;
-  std::uint32_t listener_index_ = 0;
+  NetEventHub* hub_ = nullptr;
+  std::uint32_t hub_index_ = 0;
 };
 
 /// A combinational net. Values are masked to the declared width on write.
@@ -100,7 +124,7 @@ class Wire final : public NetBase {
     const T masked = static_cast<T>(static_cast<std::uint64_t>(v) & mask());
     if (masked != value_) {
       value_ = masked;
-      mark_dirty();
+      mark_dirty(static_cast<std::uint64_t>(masked));
     }
   }
 
@@ -122,6 +146,20 @@ class RegBase : public NetBase {
   virtual void commit() noexcept = 0;
   /// Returns the register to its reset value.
   virtual void reset() noexcept = 0;
+
+ protected:
+  void notify_set_next() noexcept {
+    if (commit_hub_ != nullptr && commit_hub_->pending[commit_index_] == 0) {
+      commit_hub_->pending[commit_index_] = 1;
+      commit_hub_->list[commit_hub_->count++] = commit_index_;
+    }
+  }
+
+ private:
+  friend class Simulator;  // attaches/detaches the commit hub
+
+  RegCommitHub* commit_hub_ = nullptr;
+  std::uint32_t commit_index_ = 0;
 };
 
 template <typename T>
@@ -143,19 +181,20 @@ class Reg final : public RegBase {
   /// the simulator commits.
   void set_next(T v) noexcept {
     next_ = static_cast<T>(static_cast<std::uint64_t>(v) & mask());
+    notify_set_next();
   }
 
   void commit() noexcept override {
     if (next_ != value_) {
       value_ = next_;
-      mark_dirty();
+      mark_dirty(static_cast<std::uint64_t>(value_));
     }
   }
 
   void reset() noexcept override {
     value_ = reset_value_;
     next_ = reset_value_;
-    mark_dirty();
+    mark_dirty(static_cast<std::uint64_t>(value_));
   }
 
   [[nodiscard]] std::uint64_t value_u64() const noexcept override {

@@ -40,6 +40,13 @@ class PwmGenerator final : public rtl::Module {
     return {&counter_, &latched_pulse_};
   }
 
+  [[nodiscard]] rtl::Drives drives() const override { return {&pwm}; }
+
+  /// The frame counter free-runs, so the edge always acts.
+  [[nodiscard]] rtl::EdgeSpec edge_sensitivity() const override {
+    return rtl::EdgeSpec::always();
+  }
+
   [[nodiscard]] const PwmParams& params() const noexcept { return params_; }
 
   /// Pulse width (cycles) commanded by a position value.

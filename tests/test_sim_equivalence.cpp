@@ -1,13 +1,22 @@
-// Mode-equivalence proof for the two settle kernels (SimMode::kEvent vs
-// SimMode::kDense): the event-driven worklist must be bit-identical to
-// the dense evaluate-everything sweep — same net values every cycle, same
-// VCD bytes, same evolved genomes and generation counts — across seeds.
-// Any sensitivity list missing a net evaluate() actually reads shows up
-// here as a lockstep divergence naming the first differing net.
+// Mode-equivalence proof for the three settle kernels (SimMode::kDense,
+// kEvent, kLevel): the sparse kernels must be bit-identical to the dense
+// evaluate-everything sweep — same net values every cycle, same VCD
+// bytes, same evolved genomes and generation counts — across seeds and
+// under randomized external stimulus. Any sensitivity list missing a net
+// evaluate() actually reads, any drives() set missing a written wire, and
+// any edge_sensitivity() wake set missing a net clock_edge() depends on
+// shows up here as a lockstep divergence naming the first differing net.
+//
+// The level kernel additionally pins its structural health: the shipped
+// module trees levelize (no fallback, empty reason), and no settle ever
+// needs a second ascending sweep (level_backtracks() == 0).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -23,26 +32,52 @@
 namespace leo {
 namespace {
 
-/// Steps both simulators in lockstep for `cycles`, asserting every net of
-/// both trees identical after every cycle. Returns false (with a failure
-/// already recorded) on first divergence so callers can stop early.
-bool lockstep_compare(rtl::Simulator& event_sim, rtl::Simulator& dense_sim,
-                      std::uint64_t cycles) {
-  const auto& ev_mods = event_sim.modules();
-  const auto& de_mods = dense_sim.modules();
-  EXPECT_EQ(ev_mods.size(), de_mods.size());
-  for (std::uint64_t c = 0; c < cycles; ++c) {
-    event_sim.step();
-    dense_sim.step();
-    for (std::size_t m = 0; m < ev_mods.size(); ++m) {
-      const auto& ev_nets = ev_mods[m]->nets();
-      const auto& de_nets = de_mods[m]->nets();
-      for (std::size_t n = 0; n < ev_nets.size(); ++n) {
-        if (ev_nets[n]->value_u64() != de_nets[n]->value_u64()) {
-          ADD_FAILURE() << "cycle " << c + 1 << ": net "
-                        << ev_nets[n]->full_name() << " event="
-                        << ev_nets[n]->value_u64()
-                        << " dense=" << de_nets[n]->value_u64();
+constexpr rtl::SimMode kAllModes[] = {
+    rtl::SimMode::kDense, rtl::SimMode::kEvent, rtl::SimMode::kLevel};
+
+const char* mode_name(rtl::SimMode mode) {
+  switch (mode) {
+    case rtl::SimMode::kDense: return "dense";
+    case rtl::SimMode::kEvent: return "event";
+    case rtl::SimMode::kLevel: return "level";
+  }
+  return "?";
+}
+
+/// Pins the structural expectations for a shipped (fully ported) design:
+/// no conservative-fallback modules anywhere, and a kLevel request must
+/// actually levelize.
+void expect_fully_ported(const rtl::Simulator& sim) {
+  EXPECT_EQ(sim.fallback_modules(), 0u)
+      << "a module lost its sensitivity declaration";
+  if (sim.requested_mode() == rtl::SimMode::kLevel) {
+    EXPECT_EQ(sim.mode(), rtl::SimMode::kLevel)
+        << "level fell back: " << sim.level_fallback_reason();
+    EXPECT_TRUE(sim.level_fallback_reason().empty())
+        << sim.level_fallback_reason();
+  }
+}
+
+/// Asserts every net of every tree identical to sims[0] (the dense
+/// reference). Returns false (with a failure already recorded) on the
+/// first divergence.
+bool compare_all_nets(const std::vector<rtl::Simulator*>& sims,
+                      std::uint64_t cycle) {
+  const auto& ref_mods = sims[0]->modules();
+  for (std::size_t s = 1; s < sims.size(); ++s) {
+    const auto& mods = sims[s]->modules();
+    EXPECT_EQ(ref_mods.size(), mods.size());
+    for (std::size_t m = 0; m < ref_mods.size(); ++m) {
+      const auto& ref_nets = ref_mods[m]->nets();
+      const auto& nets = mods[m]->nets();
+      for (std::size_t n = 0; n < ref_nets.size(); ++n) {
+        if (ref_nets[n]->value_u64() != nets[n]->value_u64()) {
+          ADD_FAILURE() << "cycle " << cycle << ": net "
+                        << ref_nets[n]->full_name() << " "
+                        << mode_name(sims[0]->mode()) << "="
+                        << ref_nets[n]->value_u64() << " "
+                        << mode_name(sims[s]->mode()) << "="
+                        << nets[n]->value_u64();
           return false;
         }
       }
@@ -51,89 +86,240 @@ bool lockstep_compare(rtl::Simulator& event_sim, rtl::Simulator& dense_sim,
   return true;
 }
 
+/// Steps all simulators in lockstep for `cycles`, comparing every net
+/// after every cycle. Returns false on first divergence so callers can
+/// stop early.
+bool lockstep_compare(const std::vector<rtl::Simulator*>& sims,
+                      std::uint64_t cycles) {
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    for (auto* sim : sims) sim->step();
+    if (!compare_all_nets(sims, c + 1)) return false;
+  }
+  return true;
+}
+
 TEST(SimEquivalence, GapTopLockstepAcrossSeeds) {
   for (const std::uint64_t seed : {1u, 7u, 1999u}) {
     gap::GapParams params;
-    gap::GapTop ev_top(nullptr, "gap", params, seed);
-    gap::GapTop de_top(nullptr, "gap", params, seed);
-    rtl::Simulator ev(ev_top, rtl::SimMode::kEvent);
-    rtl::Simulator de(de_top, rtl::SimMode::kDense);
-    EXPECT_EQ(ev.fallback_modules(), 0u)
-        << "a GAP module lost its sensitivity declaration";
-    if (!lockstep_compare(ev, de, 20'000)) {
+    std::vector<std::unique_ptr<gap::GapTop>> tops;
+    std::vector<std::unique_ptr<rtl::Simulator>> sims;
+    std::vector<rtl::Simulator*> raw;
+    for (const auto mode : kAllModes) {
+      tops.push_back(std::make_unique<gap::GapTop>(nullptr, "gap", params,
+                                                   seed));
+      sims.push_back(std::make_unique<rtl::Simulator>(*tops.back(), mode));
+      expect_fully_ported(*sims.back());
+      raw.push_back(sims.back().get());
+    }
+    if (!lockstep_compare(raw, 20'000)) {
       FAIL() << "divergence at seed " << seed;
     }
+    EXPECT_EQ(raw[2]->level_backtracks(), 0u)
+        << "a level settle needed a re-sweep: a drives() set is incomplete";
   }
 }
 
 TEST(SimEquivalence, GapFullRunSameGenomeAndGenerations) {
   for (const std::uint64_t seed : {3u, 11u}) {
     gap::GapParams params;
-    gap::GapTop ev_top(nullptr, "gap", params, seed);
-    gap::GapTop de_top(nullptr, "gap", params, seed);
-    rtl::Simulator ev(ev_top, rtl::SimMode::kEvent);
-    rtl::Simulator de(de_top, rtl::SimMode::kDense);
-    const bool ev_done =
-        ev.run_until([&] { return ev_top.done.read(); }, 20'000'000);
-    const bool de_done =
-        de.run_until([&] { return de_top.done.read(); }, 20'000'000);
-    ASSERT_TRUE(ev_done);
-    ASSERT_TRUE(de_done);
-    EXPECT_EQ(ev.cycles(), de.cycles()) << "seed " << seed;
-    EXPECT_EQ(ev_top.generation(), de_top.generation()) << "seed " << seed;
-    EXPECT_EQ(ev_top.best_genome(), de_top.best_genome()) << "seed " << seed;
-    EXPECT_EQ(ev_top.best_fitness(), de_top.best_fitness()) << "seed " << seed;
-    // The event kernel must be doing strictly less evaluate() work.
-    EXPECT_LT(ev.evaluations(), de.evaluations());
+    struct Run {
+      std::uint64_t cycles, generations, genome, evaluations, edge_skips;
+      unsigned fitness;
+    };
+    std::vector<Run> runs;
+    for (const auto mode : kAllModes) {
+      gap::GapTop top(nullptr, "gap", params, seed);
+      rtl::Simulator sim(top, mode);
+      ASSERT_TRUE(
+          sim.run_until([&] { return top.done.read(); }, 20'000'000))
+          << mode_name(mode) << " seed " << seed;
+      runs.push_back({sim.cycles(), top.generation(), top.best_genome(),
+                      sim.evaluations(), sim.edge_skips(),
+                      top.best_fitness()});
+    }
+    for (std::size_t s = 1; s < runs.size(); ++s) {
+      EXPECT_EQ(runs[0].cycles, runs[s].cycles) << "seed " << seed;
+      EXPECT_EQ(runs[0].generations, runs[s].generations) << "seed " << seed;
+      EXPECT_EQ(runs[0].genome, runs[s].genome) << "seed " << seed;
+      EXPECT_EQ(runs[0].fitness, runs[s].fitness) << "seed " << seed;
+    }
+    // Work ordering: each sparser kernel does strictly less evaluate()
+    // work, and only the level kernel skips clock_edge() calls.
+    EXPECT_LT(runs[1].evaluations, runs[0].evaluations);
+    EXPECT_LT(runs[2].evaluations, runs[1].evaluations);
+    EXPECT_EQ(runs[0].edge_skips, 0u);
+    EXPECT_EQ(runs[1].edge_skips, 0u);
+    EXPECT_GT(runs[2].edge_skips, 0u);
   }
 }
 
 TEST(SimEquivalence, DiscipulusTopLockstepWithExternalStimulus) {
   core::DiscipulusParams params;
   params.controller.cycles_per_phase = 50;  // fast phases: more activity
-  core::DiscipulusTop ev_top(nullptr, "dx", params, 5);
-  core::DiscipulusTop de_top(nullptr, "dx", params, 5);
-  rtl::Simulator ev(ev_top, rtl::SimMode::kEvent);
-  rtl::Simulator de(de_top, rtl::SimMode::kDense);
-  EXPECT_EQ(ev.fallback_modules(), 0u)
-      << "a Discipulus module lost its sensitivity declaration";
+  std::vector<std::unique_ptr<core::DiscipulusTop>> tops;
+  std::vector<std::unique_ptr<rtl::Simulator>> sims;
+  std::vector<rtl::Simulator*> raw;
+  for (const auto mode : kAllModes) {
+    tops.push_back(std::make_unique<core::DiscipulusTop>(nullptr, "dx",
+                                                         params, 5));
+    sims.push_back(std::make_unique<rtl::Simulator>(*tops.back(), mode));
+    expect_fully_ported(*sims.back());
+    raw.push_back(sims.back().get());
+  }
   // External pokes between steps (genome override, sensors) must reach
-  // the event kernel exactly like the dense sweep.
+  // the sparse kernels exactly like the dense sweep.
   const std::uint64_t tripod = 0x92C49A6D3ULL & ((1ULL << 36) - 1);
-  for (auto* top : {&ev_top, &de_top}) {
+  for (auto& top : tops) {
     top->use_external_genome.write(true);
     top->external_genome.write(tripod);
     top->ground_sensors.write(0x2A);
   }
-  ASSERT_TRUE(lockstep_compare(ev, de, 2'000));
-  for (auto* top : {&ev_top, &de_top}) {
+  ASSERT_TRUE(lockstep_compare(raw, 2'000));
+  for (auto& top : tops) {
     top->ground_sensors.write(0x15);
     top->obstacle_sensors.write(0x3F);
   }
-  ASSERT_TRUE(lockstep_compare(ev, de, 2'000));
+  ASSERT_TRUE(lockstep_compare(raw, 2'000));
+  EXPECT_EQ(raw[2]->level_backtracks(), 0u);
+}
+
+// Randomized poke-fuzz: a seeded stream of sensor/genome pokes at random
+// intervals, in bursts of random length, across all three kernels. Covers
+// stimulus schedules the structured tests above never hit — in particular
+// pokes landing while conditional clock_edge() modules are quiescent.
+TEST(SimEquivalence, DiscipulusRandomizedPokeFuzzLockstep) {
+  std::mt19937_64 rng(0xD15C1BULL);
+  core::DiscipulusParams params;
+  params.controller.cycles_per_phase = 20;
+  std::vector<std::unique_ptr<core::DiscipulusTop>> tops;
+  std::vector<std::unique_ptr<rtl::Simulator>> sims;
+  std::vector<rtl::Simulator*> raw;
+  for (const auto mode : kAllModes) {
+    tops.push_back(std::make_unique<core::DiscipulusTop>(nullptr, "dx",
+                                                         params, 77));
+    sims.push_back(std::make_unique<rtl::Simulator>(*tops.back(), mode));
+    raw.push_back(sims.back().get());
+  }
+  for (int round = 0; round < 200; ++round) {
+    // Occasional mid-run reset: all kernels must rebuild their worklists,
+    // pending-edge and pending-commit state identically.
+    if (round == 66 || round == 150) {
+      for (auto* sim : raw) sim->reset();
+      ASSERT_TRUE(compare_all_nets(raw, 0)) << "post-reset, round " << round;
+    }
+    // Poke a random subset of the external inputs, same values everywhere.
+    if (rng() % 4 != 0) {
+      const auto ground = static_cast<std::uint8_t>(rng());
+      const auto obstacle = static_cast<std::uint8_t>(rng());
+      const bool use_ext = (rng() % 2) != 0;
+      const std::uint64_t genome = rng();
+      for (auto& top : tops) {
+        top->ground_sensors.write(ground);
+        top->obstacle_sensors.write(obstacle);
+        top->use_external_genome.write(use_ext);
+        top->external_genome.write(genome);
+      }
+    }
+    const std::uint64_t burst = 1 + rng() % 16;
+    if (!lockstep_compare(raw, burst)) {
+      FAIL() << "divergence in fuzz round " << round;
+    }
+  }
+  EXPECT_EQ(raw[2]->level_backtracks(), 0u);
+}
+
+// Same idea for the input-less trees: the stimulus is the random burst
+// schedule itself (kernels disagree most easily around phase boundaries,
+// which random burst lengths sample far better than fixed strides).
+TEST(SimEquivalence, GapAndLoaderRandomizedBurstFuzzLockstep) {
+  std::mt19937_64 rng(0x6A90BULL);
+  for (int trial = 0; trial < 3; ++trial) {
+    const std::uint64_t seed = rng();
+    gap::GapParams params;
+    std::vector<std::unique_ptr<gap::GapTop>> tops;
+    std::vector<std::unique_ptr<rtl::Simulator>> sims;
+    std::vector<rtl::Simulator*> raw;
+    for (const auto mode : kAllModes) {
+      tops.push_back(std::make_unique<gap::GapTop>(nullptr, "gap", params,
+                                                   seed));
+      sims.push_back(std::make_unique<rtl::Simulator>(*tops.back(), mode));
+      raw.push_back(sims.back().get());
+    }
+    std::uint64_t cycles = 0;
+    while (cycles < 5'000) {
+      if (rng() % 8 == 0) {
+        // run_until with a shared predicate: all kernels must stop on the
+        // same cycle (the predicate reads a net proven identical above).
+        const std::uint64_t budget = 1 + rng() % 64;
+        cycles += budget;
+        std::vector<bool> fired;
+        for (std::size_t s = 0; s < raw.size(); ++s) {
+          fired.push_back(raw[s]->run_until(
+              [&] { return tops[s]->done.read(); }, budget));
+        }
+        for (std::size_t s = 1; s < raw.size(); ++s) {
+          EXPECT_EQ(fired[0], fired[s]);
+          EXPECT_EQ(raw[0]->cycles(), raw[s]->cycles());
+        }
+        ASSERT_TRUE(compare_all_nets(raw, cycles));
+        if (fired[0]) break;  // evolution finished early on this trial
+      } else {
+        const std::uint64_t burst = 1 + rng() % 64;
+        cycles += burst;
+        if (!lockstep_compare(raw, burst)) {
+          FAIL() << "GAP divergence, trial " << trial << " near cycle "
+                 << cycles;
+        }
+      }
+    }
+    EXPECT_EQ(raw[2]->level_backtracks(), 0u);
+  }
+
+  const util::BitVec frame = fpga::pack_genome(0x5A5A5A5A5ULL);
+  std::vector<std::unique_ptr<fpga::ConfigLoader>> loaders;
+  std::vector<std::unique_ptr<rtl::Simulator>> sims;
+  std::vector<rtl::Simulator*> raw;
+  for (const auto mode : kAllModes) {
+    loaders.push_back(
+        std::make_unique<fpga::ConfigLoader>(nullptr, "loader", frame));
+    sims.push_back(std::make_unique<rtl::Simulator>(*loaders.back(), mode));
+    raw.push_back(sims.back().get());
+  }
+  std::uint64_t remaining = frame.width() + 8;
+  while (remaining > 0) {
+    const std::uint64_t burst = std::min<std::uint64_t>(1 + rng() % 32,
+                                                        remaining);
+    remaining -= burst;
+    ASSERT_TRUE(lockstep_compare(raw, burst));
+  }
+  EXPECT_TRUE(loaders[0]->valid.read());
 }
 
 TEST(SimEquivalence, ConfigLoaderLockstep) {
   const util::BitVec frame = fpga::pack_genome(0xABCDEF123ULL);
-  fpga::ConfigLoader ev_top(nullptr, "loader", frame);
-  fpga::ConfigLoader de_top(nullptr, "loader", frame);
-  rtl::Simulator ev(ev_top, rtl::SimMode::kEvent);
-  rtl::Simulator de(de_top, rtl::SimMode::kDense);
-  EXPECT_EQ(ev.fallback_modules(), 0u);
-  ASSERT_TRUE(lockstep_compare(ev, de, frame.width() + 8));
-  EXPECT_TRUE(ev_top.valid.read());
+  std::vector<std::unique_ptr<fpga::ConfigLoader>> loaders;
+  std::vector<std::unique_ptr<rtl::Simulator>> sims;
+  std::vector<rtl::Simulator*> raw;
+  for (const auto mode : kAllModes) {
+    loaders.push_back(
+        std::make_unique<fpga::ConfigLoader>(nullptr, "loader", frame));
+    sims.push_back(std::make_unique<rtl::Simulator>(*loaders.back(), mode));
+    expect_fully_ported(*sims.back());
+    raw.push_back(sims.back().get());
+  }
+  ASSERT_TRUE(lockstep_compare(raw, frame.width() + 8));
+  EXPECT_TRUE(loaders[0]->valid.read());
 }
 
 TEST(SimEquivalence, VcdDumpsAreByteIdentical) {
   const std::string dir = ::testing::TempDir();
   std::vector<std::string> paths;
-  for (const auto mode : {rtl::SimMode::kEvent, rtl::SimMode::kDense}) {
+  for (const auto mode : kAllModes) {
     gap::GapParams params;
     gap::GapTop top(nullptr, "gap", params, 42);
     rtl::Simulator sim(top, mode);
     const std::string path =
-        dir + "/leo_equiv_" +
-        (mode == rtl::SimMode::kEvent ? "event" : "dense") + ".vcd";
+        dir + "/leo_equiv_" + mode_name(mode) + ".vcd";
     paths.push_back(path);
     {
       rtl::VcdWriter vcd(path, top);
@@ -141,32 +327,151 @@ TEST(SimEquivalence, VcdDumpsAreByteIdentical) {
       sim.run(5'000);
     }
   }
-  std::ifstream a(paths[0], std::ios::binary);
-  std::ifstream b(paths[1], std::ios::binary);
-  std::stringstream sa, sb;
-  sa << a.rdbuf();
-  sb << b.rdbuf();
-  EXPECT_FALSE(sa.str().empty());
-  EXPECT_EQ(sa.str(), sb.str());
-  for (const auto& p : paths) std::remove(p.c_str());
+  std::vector<std::string> dumps;
+  for (const auto& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    dumps.push_back(ss.str());
+    std::remove(p.c_str());
+  }
+  EXPECT_FALSE(dumps[0].empty());
+  EXPECT_EQ(dumps[0], dumps[1]);
+  EXPECT_EQ(dumps[0], dumps[2]);
 }
 
-TEST(SimEquivalence, EvolveHardwareIdenticalResultsUnderBothModes) {
-  core::EvolutionConfig config;
+// VCD attach mid-run: the sparse trace path must resynchronize (full
+// sample, then deltas) no matter which kernel ran the untraced prefix.
+TEST(SimEquivalence, VcdAttachMidRunIsByteIdenticalAcrossKernels) {
+  const std::string dir = ::testing::TempDir();
+  std::vector<std::string> dumps;
+  for (const auto mode : kAllModes) {
+    gap::GapParams params;
+    gap::GapTop top(nullptr, "gap", params, 17);
+    rtl::Simulator sim(top, mode);
+    sim.run(3'000);
+    const std::string path =
+        dir + "/leo_equiv_mid_" + mode_name(mode) + ".vcd";
+    {
+      rtl::VcdWriter vcd(path, top);
+      sim.attach_vcd(&vcd);
+      sim.run(2'000);
+    }
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    dumps.push_back(ss.str());
+    std::remove(path.c_str());
+  }
+  EXPECT_FALSE(dumps[0].empty());
+  EXPECT_EQ(dumps[0], dumps[1]);
+  EXPECT_EQ(dumps[0], dumps[2]);
+}
+
+TEST(SimEquivalence, EvolveHardwareIdenticalResultsUnderAllModes) {
+  core::EvolutionConfig config;  // default sim_mode is kLevel
   config.backend = core::Backend::kHardware;
   config.seed = 9;
+  core::EvolutionConfig event_config = config;
+  event_config.sim_mode = rtl::SimMode::kEvent;
   core::EvolutionConfig dense_config = config;
   dense_config.sim_mode = rtl::SimMode::kDense;
 
-  const core::EvolutionResult ev = core::evolve(config);
+  const core::EvolutionResult lv = core::evolve(config);
+  const core::EvolutionResult ev = core::evolve(event_config);
   const core::EvolutionResult de = core::evolve(dense_config);
+  EXPECT_TRUE(lv.reached_target);
   EXPECT_TRUE(ev.reached_target);
   EXPECT_TRUE(de.reached_target);
-  EXPECT_EQ(ev.generations, de.generations);
-  EXPECT_EQ(ev.best_genome, de.best_genome);
-  EXPECT_EQ(ev.best_fitness, de.best_fitness);
-  EXPECT_EQ(ev.clock_cycles, de.clock_cycles);
-  EXPECT_EQ(ev.evaluations, de.evaluations);
+  EXPECT_EQ(de.generations, ev.generations);
+  EXPECT_EQ(de.best_genome, ev.best_genome);
+  EXPECT_EQ(de.best_fitness, ev.best_fitness);
+  EXPECT_EQ(de.clock_cycles, ev.clock_cycles);
+  EXPECT_EQ(de.evaluations, ev.evaluations);
+  EXPECT_EQ(de.generations, lv.generations);
+  EXPECT_EQ(de.best_genome, lv.best_genome);
+  EXPECT_EQ(de.best_fitness, lv.best_fitness);
+  EXPECT_EQ(de.clock_cycles, lv.clock_cycles);
+  EXPECT_EQ(de.evaluations, lv.evaluations);
+}
+
+// --- level-kernel fallback behaviour on designs that cannot levelize ---
+
+/// One stage of a (stable) combinational module cycle: copies its foreign
+/// input wire to its own output wire.
+class CopyStage final : public rtl::Module {
+ public:
+  rtl::Wire<std::uint8_t> out;
+  const rtl::Wire<std::uint8_t>* in = nullptr;
+
+  CopyStage(Module* parent, std::string name)
+      : Module(parent, std::move(name)), out(this, "out", 8) {}
+
+  void evaluate() override { out.write(in->read()); }
+  [[nodiscard]] rtl::Sensitivity inputs() const override { return {in}; }
+  [[nodiscard]] rtl::Drives drives() const override { return {&out}; }
+  [[nodiscard]] rtl::EdgeSpec edge_sensitivity() const override {
+    return rtl::EdgeSpec::never();
+  }
+};
+
+class QuietTop : public rtl::Module {
+ public:
+  using rtl::Module::Module;
+  [[nodiscard]] rtl::Sensitivity inputs() const override {
+    return rtl::Sensitivity::none();
+  }
+  [[nodiscard]] rtl::Drives drives() const override {
+    return rtl::Drives::none();
+  }
+  [[nodiscard]] rtl::EdgeSpec edge_sensitivity() const override {
+    return rtl::EdgeSpec::never();
+  }
+};
+
+TEST(SimEquivalence, DeclaredCombinationalCycleFallsBackToEvent) {
+  QuietTop top(nullptr, "looptop");
+  CopyStage a(&top, "a");
+  CopyStage b(&top, "b");
+  a.in = &b.out;
+  b.in = &a.out;
+  rtl::Simulator sim(top, rtl::SimMode::kLevel);
+  EXPECT_EQ(sim.requested_mode(), rtl::SimMode::kLevel);
+  EXPECT_EQ(sim.mode(), rtl::SimMode::kEvent);
+  EXPECT_NE(sim.level_fallback_reason().find("combinational cycle"),
+            std::string::npos)
+      << sim.level_fallback_reason();
+  // The fallback kernel still simulates the (stable) loop fine.
+  sim.run(10);
+  EXPECT_EQ(sim.cycles(), 10u);
+  EXPECT_EQ(sim.level_backtracks(), 0u);
+  EXPECT_EQ(sim.edge_skips(), 0u);
+}
+
+/// Declares inputs() but not drives() — portable to the event kernel but
+/// not rankable by the level kernel.
+class NoDrivesModule final : public rtl::Module {
+ public:
+  rtl::Wire<std::uint8_t> out;
+
+  NoDrivesModule(Module* parent, std::string name)
+      : Module(parent, std::move(name)), out(this, "out", 8) {}
+
+  void evaluate() override { out.write(1); }
+  [[nodiscard]] rtl::Sensitivity inputs() const override {
+    return rtl::Sensitivity::none();
+  }
+};
+
+TEST(SimEquivalence, UndeclaredDrivesFallsBackToEvent) {
+  QuietTop top(nullptr, "top");
+  NoDrivesModule m(&top, "m");
+  rtl::Simulator sim(top, rtl::SimMode::kLevel);
+  EXPECT_EQ(sim.mode(), rtl::SimMode::kEvent);
+  EXPECT_NE(sim.level_fallback_reason().find("drives()"), std::string::npos)
+      << sim.level_fallback_reason();
+  sim.run(5);
+  EXPECT_EQ(m.out.read(), 1);
 }
 
 }  // namespace
